@@ -1,0 +1,37 @@
+"""Ablation — aggregate-term application: full cumulative pass vs shortcut.
+
+Lines 12–19 of the paper's basic algorithm apply the aggregate terms to every
+prefix sum of the trial's occurrence losses and then sum the differences.
+Because the clipped prefix differences telescope, the year loss equals a
+single clip of the trial total — the shortcut the optimised backends use.
+This ablation quantifies the cost of the literal cumulative pass relative to
+the shortcut (both produce identical Year Loss Tables; equivalence is enforced
+by the integration and property tests).
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+
+VARIANTS = {
+    "shortcut": True,
+    "cumulative_pass": False,
+}
+
+
+@pytest.mark.benchmark(group="ablation-aggregate-terms")
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_ablation_aggregate_term_application(benchmark, baseline_workload, variant):
+    engine = AggregateRiskEngine(EngineConfig(
+        backend="vectorized",
+        use_aggregate_shortcut=VARIANTS[variant],
+        record_max_occurrence=False,
+    ))
+
+    result = benchmark(lambda: engine.run(baseline_workload.program, baseline_workload.yet))
+
+    benchmark.extra_info["ablation"] = "aggregate-terms"
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["n_trials"] = baseline_workload.yet.n_trials
+    assert result.ylt.n_trials == baseline_workload.yet.n_trials

@@ -1,0 +1,43 @@
+"""Figure 2a — sequential analysis time vs number of ELTs per layer.
+
+Paper configuration: 1 layer, 1 million trials, 1000 events per trial, ELTs
+per layer varied from 3 to 15; runtime grows linearly in the ELT count.
+
+Scaled reproduction: 2000 trials x 100 events, ELTs per layer 3..15, using the
+single-process vectorized backend (the paper's claim being reproduced is the
+*linear scaling in the ELT dimension*, which is backend-independent).  The
+sub-layer for each point reuses the ELTs of one 15-ELT workload so every sweep
+point sees identical data.
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
+
+from .conftest import build_workload
+
+ELT_COUNTS = (3, 6, 9, 12, 15)
+
+
+@pytest.mark.benchmark(group="fig2a-elts-per-layer")
+@pytest.mark.parametrize("n_elts", ELT_COUNTS)
+def test_fig2a_sequential_time_vs_elts_per_layer(benchmark, n_elts):
+    workload = build_workload(n_layers=1, elts_per_layer=15)
+    base_layer = workload.program[0]
+    layer = Layer(base_layer.elts[:n_elts], base_layer.terms, name=f"elts-{n_elts}")
+    program = ReinsuranceProgram([layer], name=f"fig2a-{n_elts}")
+    engine = AggregateRiskEngine(EngineConfig(backend="vectorized"))
+
+    result = benchmark(lambda: engine.run(program, workload.yet))
+
+    benchmark.extra_info["figure"] = "2a"
+    benchmark.extra_info["elts_per_layer"] = n_elts
+    benchmark.extra_info["n_trials"] = workload.yet.n_trials
+    benchmark.extra_info["events_per_trial"] = workload.yet.mean_events_per_trial
+    benchmark.extra_info["total_lookups"] = (
+        workload.yet.n_occurrences * n_elts
+    )
+    assert result.ylt.n_trials == workload.yet.n_trials

@@ -1,0 +1,34 @@
+"""Figure 2b — sequential analysis time vs number of trials.
+
+Paper configuration: 1 layer, 15 ELTs, 1000 events per trial, trials varied
+from 200,000 to 1,000,000; runtime grows linearly in the trial count.
+
+Scaled reproduction: trials 2,000 .. 10,000 (the same 5-point 1:5 span), 100
+events per trial, 15 ELTs, vectorized backend.  The YET for every point is a
+trial-prefix slice of one 10,000-trial table.
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+
+from .conftest import build_workload
+
+TRIAL_COUNTS = (2000, 4000, 6000, 8000, 10_000)
+
+
+@pytest.mark.benchmark(group="fig2b-trials")
+@pytest.mark.parametrize("n_trials", TRIAL_COUNTS)
+def test_fig2b_sequential_time_vs_trials(benchmark, n_trials):
+    workload = build_workload(n_trials=max(TRIAL_COUNTS))
+    yet = workload.yet.slice_trials(0, n_trials)
+    engine = AggregateRiskEngine(EngineConfig(backend="vectorized"))
+
+    result = benchmark(lambda: engine.run(workload.program, yet))
+
+    benchmark.extra_info["figure"] = "2b"
+    benchmark.extra_info["n_trials"] = n_trials
+    benchmark.extra_info["events_per_trial"] = yet.mean_events_per_trial
+    benchmark.extra_info["elts_per_layer"] = workload.program[0].n_elts
+    assert result.ylt.n_trials == n_trials

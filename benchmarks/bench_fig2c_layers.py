@@ -1,0 +1,34 @@
+"""Figure 2c — sequential analysis time vs number of layers.
+
+Paper configuration: 15 ELTs per layer, 1 million trials, 1000 events per
+trial, layers varied from 1 to 5; runtime grows linearly in the layer count.
+
+Scaled reproduction: 2000 trials x 100 events, 15 ELTs per layer, layers 1..5,
+vectorized backend.  The sweep points take layer-prefixes of one 5-layer
+program so every point sees identical per-layer data.
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+
+from .conftest import build_workload
+
+LAYER_COUNTS = (1, 2, 3, 4, 5)
+
+
+@pytest.mark.benchmark(group="fig2c-layers")
+@pytest.mark.parametrize("n_layers", LAYER_COUNTS)
+def test_fig2c_sequential_time_vs_layers(benchmark, n_layers):
+    workload = build_workload(n_layers=max(LAYER_COUNTS))
+    program = workload.program.subset(range(n_layers), name=f"fig2c-{n_layers}")
+    engine = AggregateRiskEngine(EngineConfig(backend="vectorized"))
+
+    result = benchmark(lambda: engine.run(program, workload.yet))
+
+    benchmark.extra_info["figure"] = "2c"
+    benchmark.extra_info["n_layers"] = n_layers
+    benchmark.extra_info["n_trials"] = workload.yet.n_trials
+    benchmark.extra_info["elts_per_layer"] = program.mean_elts_per_layer
+    assert result.ylt.n_layers == n_layers

@@ -1,0 +1,38 @@
+"""Figure 2d — sequential analysis time vs number of events in a trial.
+
+Paper configuration: 1 layer, 15 ELTs, 100,000 trials, events per trial varied
+from 800 to 1200; runtime grows linearly in the trial length.
+
+Scaled reproduction: 2000 trials, 15 ELTs, events per trial 80..120 (the same
++/-20 % span around the nominal length), vectorized backend.  A separate YET
+is simulated from the same catalog for each trial length.
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.yet.simulator import YETSimulator
+
+from .conftest import build_workload
+
+EVENTS_PER_TRIAL = (80, 90, 100, 110, 120)
+
+
+@pytest.mark.benchmark(group="fig2d-events-per-trial")
+@pytest.mark.parametrize("events_per_trial", EVENTS_PER_TRIAL)
+def test_fig2d_sequential_time_vs_events_per_trial(benchmark, events_per_trial):
+    workload = build_workload()
+    simulator = YETSimulator(workload.catalog)
+    yet = simulator.simulate_fixed_length(
+        workload.yet.n_trials, events_per_trial, rng=2012
+    )
+    engine = AggregateRiskEngine(EngineConfig(backend="vectorized"))
+
+    result = benchmark(lambda: engine.run(workload.program, yet))
+
+    benchmark.extra_info["figure"] = "2d"
+    benchmark.extra_info["events_per_trial"] = events_per_trial
+    benchmark.extra_info["n_trials"] = yet.n_trials
+    benchmark.extra_info["elts_per_layer"] = workload.program[0].n_elts
+    assert result.ylt.n_trials == yet.n_trials

@@ -1,0 +1,53 @@
+"""Figure 4 — basic GPU kernel: execution time vs threads per CUDA block.
+
+Paper configuration: basic (global-memory) CUDA kernel, 1 million trials x
+1000 events x 15 ELTs on a Tesla C2075, threads per block varied 128..640; at
+least 128 threads per block are needed, the best time is at ~256, and beyond
+that improvements diminish.
+
+Reproduction: the ``gpu`` backend executes the kernel functionally with NumPy
+on a scaled workload (that execution is what the benchmark times) and the
+:class:`~repro.parallel.device.SimulatedGPU` cost model projects the kernel
+time of the paper's full-scale launch for each threads-per-block value; the
+projection is attached to ``extra_info["modeled_full_scale_seconds"]`` and is
+the series EXPERIMENTS.md compares against the paper's figure.
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.core.gpu_sim import GPUSimulatedEngine
+from repro.parallel.device import WorkloadShape
+from repro.workloads.presets import PAPER_FULL_SCALE
+
+THREADS_PER_BLOCK = (128, 256, 384, 512, 640)
+
+FULL_SCALE_SHAPE = WorkloadShape(
+    n_trials=PAPER_FULL_SCALE.n_trials,
+    events_per_trial=float(PAPER_FULL_SCALE.events_per_trial),
+    n_elts=PAPER_FULL_SCALE.elts_per_layer,
+    n_layers=PAPER_FULL_SCALE.n_layers,
+)
+
+
+@pytest.mark.benchmark(group="fig4-gpu-threads-per-block")
+@pytest.mark.parametrize("threads_per_block", THREADS_PER_BLOCK)
+def test_fig4_basic_gpu_time_vs_threads_per_block(benchmark, baseline_workload, threads_per_block):
+    config = EngineConfig(
+        backend="gpu",
+        threads_per_block=threads_per_block,
+        gpu_optimised=False,
+        record_max_occurrence=False,
+    )
+    engine = AggregateRiskEngine(config)
+
+    result = benchmark(lambda: engine.run(baseline_workload.program, baseline_workload.yet))
+
+    modeled = GPUSimulatedEngine(config).estimate_only(FULL_SCALE_SHAPE)
+    benchmark.extra_info["figure"] = "4"
+    benchmark.extra_info["threads_per_block"] = threads_per_block
+    benchmark.extra_info["modeled_full_scale_seconds"] = modeled.seconds
+    benchmark.extra_info["occupancy"] = modeled.occupancy
+    benchmark.extra_info["paper_reference"] = "38.47 s at the best configuration"
+    assert result.modeled_seconds is not None

@@ -1,0 +1,56 @@
+"""Figure 5b — optimised GPU kernel: execution time vs threads per block.
+
+Paper observation: with a chunk size of 4 the maximum number of threads per
+block the shared memory supports is 192; sweeping the thread count in warp
+multiples (32..192) shows only a small, gradual improvement.
+
+Reproduction: the ``gpu`` backend runs the chunked kernel functionally on the
+scaled workload while the device model projects the full-scale kernel time per
+threads-per-block value at chunk size 4.
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.core.gpu_sim import GPUSimulatedEngine
+from repro.parallel.device import SimulatedGPU, WorkloadShape
+from repro.workloads.presets import PAPER_FULL_SCALE
+
+THREADS_PER_BLOCK = (32, 64, 96, 128, 160, 192)
+CHUNK_SIZE = 4
+
+FULL_SCALE_SHAPE = WorkloadShape(
+    n_trials=PAPER_FULL_SCALE.n_trials,
+    events_per_trial=float(PAPER_FULL_SCALE.events_per_trial),
+    n_elts=PAPER_FULL_SCALE.elts_per_layer,
+    n_layers=PAPER_FULL_SCALE.n_layers,
+)
+
+
+def test_fig5b_paper_thread_limit_at_chunk4():
+    """The device model reproduces the paper's 192-thread limit at chunk 4."""
+    assert SimulatedGPU().max_threads_for_chunk(CHUNK_SIZE) == 192
+
+
+@pytest.mark.benchmark(group="fig5b-gpu-threads-optimised")
+@pytest.mark.parametrize("threads_per_block", THREADS_PER_BLOCK)
+def test_fig5b_optimised_gpu_time_vs_threads(benchmark, baseline_workload, threads_per_block):
+    config = EngineConfig(
+        backend="gpu",
+        threads_per_block=threads_per_block,
+        gpu_chunk_size=CHUNK_SIZE,
+        gpu_optimised=True,
+        record_max_occurrence=False,
+    )
+    engine = AggregateRiskEngine(config)
+
+    result = benchmark(lambda: engine.run(baseline_workload.program, baseline_workload.yet))
+
+    modeled = GPUSimulatedEngine(config).estimate_only(FULL_SCALE_SHAPE)
+    benchmark.extra_info["figure"] = "5b"
+    benchmark.extra_info["threads_per_block"] = threads_per_block
+    benchmark.extra_info["chunk_size"] = CHUNK_SIZE
+    benchmark.extra_info["modeled_full_scale_seconds"] = modeled.seconds
+    benchmark.extra_info["paper_reference"] = "small gradual improvement, max 192 threads"
+    assert result.modeled_seconds is not None

@@ -1,0 +1,72 @@
+"""Figure 6b — percentage of time per engine phase.
+
+Paper observation: 78 % of the runtime is spent looking events up in the ELT
+direct access tables; the remainder splits between fetching events from
+memory, the financial-term calculations and the layer-term calculations.
+
+Reproduction, two views attached to ``extra_info``:
+
+* the *measured* phase breakdown of the instrumented sequential backend (a
+  pure Python interpreter shifts the ratios — interpretation overhead inflates
+  the arithmetic phases relative to a compiled implementation), and
+* the *projected* breakdown of the analytical CPU cost model
+  (:meth:`repro.core.projection.CPUCostModel.phase_fractions`), which is the
+  series EXPERIMENTS.md compares against the paper's 78 % figure.
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.core.phases import ALL_PHASES
+from repro.core.projection import CPUCostModel
+from repro.parallel.device import WorkloadShape
+from repro.workloads.presets import PAPER_FULL_SCALE
+
+from .conftest import build_workload
+
+FULL_SCALE_SHAPE = WorkloadShape(
+    n_trials=PAPER_FULL_SCALE.n_trials,
+    events_per_trial=float(PAPER_FULL_SCALE.events_per_trial),
+    n_elts=PAPER_FULL_SCALE.elts_per_layer,
+    n_layers=PAPER_FULL_SCALE.n_layers,
+)
+
+BACKENDS = ("sequential", "vectorized")
+
+
+@pytest.mark.benchmark(group="fig6b-phase-breakdown")
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fig6b_phase_breakdown(benchmark, backend):
+    workload = build_workload()
+    n_trials = 200 if backend == "sequential" else workload.yet.n_trials
+    yet = workload.yet.slice_trials(0, n_trials)
+    engine = AggregateRiskEngine(EngineConfig(backend=backend, record_phases=True,
+                                              record_max_occurrence=False))
+
+    result = benchmark.pedantic(
+        lambda: engine.run(workload.program, yet),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    breakdown = result.phase_breakdown
+    assert breakdown is not None
+    percentages = breakdown.percentages()
+    assert set(percentages) == set(ALL_PHASES)
+
+    projected = CPUCostModel().phase_fractions(FULL_SCALE_SHAPE)
+    benchmark.extra_info["figure"] = "6b"
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["measured_percentages"] = {k: round(v, 2) for k, v in percentages.items()}
+    benchmark.extra_info["projected_percentages"] = {
+        k: round(100.0 * v, 2) for k, v in projected.items()
+    }
+    benchmark.extra_info["paper_elt_lookup_share"] = 78.0
+    # The measured (interpreted Python) breakdown shifts weight towards the
+    # arithmetic phases; the projected breakdown of the compiled-engine cost
+    # model is the one that must reproduce the paper's "78 % in ELT lookups".
+    assert sum(percentages.values()) == pytest.approx(100.0, abs=1e-6)
+    assert max(projected, key=projected.get) == "elt_lookup"
+    assert projected["elt_lookup"] == pytest.approx(0.78, abs=0.12)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This shim
+exists so that the package can be installed in environments without the
+``wheel`` package (where ``pip install -e .`` cannot build an editable wheel):
+``python setup.py develop`` performs a legacy editable install.
+"""
+
+from setuptools import setup
+
+setup()

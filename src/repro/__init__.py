@@ -1,0 +1,50 @@
+"""repro — parallel aggregate risk analysis for catastrophe reinsurance portfolios.
+
+A from-scratch Python reproduction of *Bahl, Baltzer, Rau-Chaplin & Varghese,
+"Parallel Simulations for Analysing Portfolios of Catastrophic Event Risk"*
+(SC 2012): the Aggregate Risk Engine (ARE) together with every substrate it
+depends on — stochastic event catalogs, exposure databases, a catastrophe
+model producing Event Loss Tables, Year Event Table simulation, financial and
+layer contract terms, Year Loss Tables with PML/TVaR metrics, and parallel
+execution backends (vectorized, chunked, multi-process and a simulated
+many-core device).
+
+Quickstart::
+
+    from repro import AggregateRiskEngine, EngineConfig
+    from repro.workloads import WorkloadGenerator, bench_spec
+
+    workload = WorkloadGenerator(bench_spec()).generate()
+    engine = AggregateRiskEngine(EngineConfig(backend="vectorized"))
+    result = engine.run(workload.program, workload.yet)
+    print(result.summary())
+"""
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine, available_backends
+from repro.core.results import EngineResult
+from repro.elt.table import EventLossTable
+from repro.financial.terms import FinancialTerms, LayerTerms
+from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
+from repro.yet.table import YearEventTable
+from repro.ylt.metrics import compute_risk_metrics
+from repro.ylt.table import YearLossTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AggregateRiskEngine",
+    "EngineConfig",
+    "EngineResult",
+    "available_backends",
+    "EventLossTable",
+    "FinancialTerms",
+    "LayerTerms",
+    "Layer",
+    "ReinsuranceProgram",
+    "YearEventTable",
+    "YearLossTable",
+    "compute_risk_metrics",
+]

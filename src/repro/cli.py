@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday operations of the library::
+
+    are generate --preset bench --out yet.npz     # simulate & store a YET
+    are run --preset bench --backend vectorized   # run an aggregate analysis
+    are metrics --preset bench                    # run + print PML/TVaR report
+    are project --trials 1000000                  # full-scale runtime projection
+
+The CLI operates on the synthetic workload presets; it exists so that the
+examples and benchmarks have a scriptable entry point (and so that a user can
+poke at the engine without writing Python).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import BACKEND_NAMES, EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.core.projection import CPUCostModel, project_summary
+from repro.parallel.device import WorkloadShape
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.presets import preset, preset_names
+from repro.yet.io import save_yet
+from repro.ylt.metrics import compute_risk_metrics
+from repro.ylt.reporting import format_metrics_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="are",
+        description="Aggregate Risk Engine — parallel aggregate analysis of catastrophe portfolios",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic workload's YET")
+    generate.add_argument("--preset", default="bench", choices=preset_names())
+    generate.add_argument("--seed", type=int, default=None, help="override the preset seed")
+    generate.add_argument("--out", required=True, help="output .npz path for the YET")
+
+    run = subparsers.add_parser("run", help="run an aggregate analysis on a preset workload")
+    _add_run_arguments(run)
+
+    metrics = subparsers.add_parser("metrics", help="run an analysis and print the risk report")
+    _add_run_arguments(metrics)
+    metrics.add_argument("--return-periods", default="10,25,50,100,250",
+                         help="comma-separated PML return periods (years)")
+
+    project = subparsers.add_parser(
+        "project", help="project full-scale runtimes with the analytical cost models"
+    )
+    project.add_argument("--trials", type=int, default=1_000_000)
+    project.add_argument("--events-per-trial", type=int, default=1000)
+    project.add_argument("--elts-per-layer", type=int, default=15)
+    project.add_argument("--layers", type=int, default=1)
+    project.add_argument("--cores", type=int, default=8)
+
+    return parser
+
+
+def _add_run_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--preset", default="bench", choices=preset_names())
+    sub.add_argument("--seed", type=int, default=None, help="override the preset seed")
+    sub.add_argument("--backend", default="vectorized", choices=BACKEND_NAMES)
+    sub.add_argument("--workers", type=int, default=1, help="workers for the multicore backend")
+    sub.add_argument("--threads-per-block", type=int, default=256)
+    sub.add_argument("--chunk-size", type=int, default=4)
+    sub.add_argument("--phases", action="store_true", help="record the phase breakdown")
+
+
+def _build_workload(args: argparse.Namespace):
+    spec = preset(args.preset)
+    if args.seed is not None:
+        spec = spec.scaled(seed=args.seed)
+    return WorkloadGenerator(spec).generate()
+
+
+def _build_config(args: argparse.Namespace) -> EngineConfig:
+    return EngineConfig(
+        backend=args.backend,
+        n_workers=args.workers,
+        threads_per_block=args.threads_per_block,
+        gpu_chunk_size=args.chunk_size,
+        record_phases=args.phases,
+    )
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    path = save_yet(workload.yet, args.out)
+    print(f"workload : {workload.summary()}")
+    print(f"YET saved: {path}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    engine = AggregateRiskEngine(_build_config(args))
+    result = engine.run(workload.program, workload.yet)
+    print(f"workload : {workload.summary()}")
+    print(f"result   : {result.summary()}")
+    if result.phase_breakdown is not None:
+        print(result.phase_breakdown.format_table())
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    engine = AggregateRiskEngine(_build_config(args))
+    result = engine.run(workload.program, workload.yet)
+    return_periods = tuple(float(x) for x in args.return_periods.split(",") if x)
+    metrics = compute_risk_metrics(result.ylt.portfolio_losses(), return_periods=return_periods)
+    print(f"workload : {workload.summary()}")
+    print(f"result   : {result.summary()}")
+    print()
+    print(format_metrics_report(metrics, title=f"Portfolio risk ({args.preset})"))
+    return 0
+
+
+def _command_project(args: argparse.Namespace) -> int:
+    shape = WorkloadShape(
+        n_trials=args.trials,
+        events_per_trial=float(args.events_per_trial),
+        n_elts=args.elts_per_layer,
+        n_layers=args.layers,
+    )
+    summary = project_summary(shape, n_cores=args.cores, cpu_model=CPUCostModel())
+    print(f"projected runtimes for {args.trials:,} trials x {args.events_per_trial} events "
+          f"x {args.elts_per_layer} ELTs x {args.layers} layer(s):")
+    for name, seconds in summary.items():
+        print(f"  {name:<16}: {seconds:10.2f} s")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "run": _command_run,
+    "metrics": _command_metrics,
+    "project": _command_project,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

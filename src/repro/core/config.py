@@ -1,0 +1,117 @@
+"""Engine configuration.
+
+One :class:`EngineConfig` object configures every backend; irrelevant fields
+are simply ignored by backends that do not use them (e.g. ``threads_per_block``
+only matters to the GPU backend).  Keeping a single configuration type makes
+the benchmark sweeps trivial: change one field, re-run, compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.parallel.device import GPUSpec
+from repro.parallel.scheduling import SchedulingPolicy
+
+__all__ = ["EngineConfig", "ELT_REPRESENTATIONS", "BACKEND_NAMES"]
+
+#: Lookup-structure choices for the sequential backend (Section III-B ablation).
+ELT_REPRESENTATIONS: tuple[str, ...] = ("direct", "sorted", "hashed")
+
+#: Names of the available engine backends.
+BACKEND_NAMES: tuple[str, ...] = ("sequential", "vectorized", "chunked", "multicore", "gpu")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration shared by all engine backends.
+
+    Attributes
+    ----------
+    backend:
+        One of :data:`BACKEND_NAMES`.
+    elt_representation:
+        ELT lookup structure used by the *sequential* backend: ``"direct"``
+        (direct access table, the paper's choice), ``"sorted"`` (binary
+        search) or ``"hashed"`` (open-addressing hash table).
+    use_aggregate_shortcut:
+        Apply the aggregate terms with the telescoped shortcut (True) or with
+        the paper's full cumulative pass (False).  Both produce identical year
+        losses; the flag exists for the ablation benchmark.
+    record_max_occurrence:
+        Record each trial's largest occurrence loss (needed for OEP curves);
+        small extra cost.
+    record_phases:
+        Record the per-phase timing breakdown (Figure 6b); adds measurement
+        overhead, so benchmarks of raw speed leave it off.
+    chunk_events:
+        Flattened-event chunk size of the *chunked* backend (number of event
+        occurrences staged per iteration).
+    n_workers:
+        Worker processes of the *multicore* backend (the paper's "cores").
+    scheduling:
+        Static or dynamic trial-block scheduling for the multicore backend.
+    oversubscription:
+        Work items per worker under dynamic scheduling (the paper's "threads
+        per core").
+    start_method:
+        Multiprocessing start method for the multicore backend.
+    threads_per_block:
+        CUDA-block size of the simulated *gpu* backend.
+    gpu_chunk_size:
+        Chunk size (events staged in shared memory per thread) of the
+        optimised GPU kernel.
+    gpu_optimised:
+        Run the optimised (chunked, shared-memory) kernel rather than the
+        basic kernel on the simulated GPU.
+    gpu_spec:
+        Hardware spec of the simulated device.
+    extra:
+        Free-form options for experimental backends.
+    """
+
+    backend: str = "vectorized"
+    elt_representation: str = "direct"
+    use_aggregate_shortcut: bool = True
+    record_max_occurrence: bool = True
+    record_phases: bool = False
+    chunk_events: int = 8192
+    n_workers: int = 1
+    scheduling: SchedulingPolicy = SchedulingPolicy.STATIC
+    oversubscription: int = 1
+    start_method: str = "fork"
+    threads_per_block: int = 256
+    gpu_chunk_size: int = 4
+    gpu_optimised: bool = True
+    gpu_spec: GPUSpec = field(default_factory=GPUSpec)
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        if self.elt_representation not in ELT_REPRESENTATIONS:
+            raise ValueError(
+                f"unknown ELT representation {self.elt_representation!r}; "
+                f"expected one of {ELT_REPRESENTATIONS}"
+            )
+        if self.chunk_events <= 0:
+            raise ValueError(f"chunk_events must be positive, got {self.chunk_events}")
+        if self.n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {self.n_workers}")
+        if self.oversubscription <= 0:
+            raise ValueError(f"oversubscription must be positive, got {self.oversubscription}")
+        if self.threads_per_block <= 0:
+            raise ValueError(f"threads_per_block must be positive, got {self.threads_per_block}")
+        if self.gpu_chunk_size <= 0:
+            raise ValueError(f"gpu_chunk_size must be positive, got {self.gpu_chunk_size}")
+
+    def with_backend(self, backend: str, **overrides: Any) -> "EngineConfig":
+        """A copy of this config with a different backend (and optional overrides)."""
+        return replace(self, backend=backend, **overrides)
+
+    def replace(self, **overrides: Any) -> "EngineConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,111 @@
+"""The public engine facade.
+
+:class:`AggregateRiskEngine` selects and drives one of the five backends from
+an :class:`~repro.core.config.EngineConfig`.  Typical use::
+
+    from repro.core import AggregateRiskEngine, EngineConfig
+
+    engine = AggregateRiskEngine(EngineConfig(backend="vectorized"))
+    result = engine.run(program, yet)
+    year_losses = result.ylt.layer(0)
+
+The facade also provides :meth:`AggregateRiskEngine.compare_backends`, which
+runs the same workload through several backends and verifies that they agree —
+the programmatic form of the library's core correctness guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.chunked import ChunkedEngine
+from repro.core.config import BACKEND_NAMES, EngineConfig
+from repro.core.gpu_sim import GPUSimulatedEngine
+from repro.core.multicore import MulticoreEngine
+from repro.core.results import EngineResult
+from repro.core.sequential import SequentialEngine
+from repro.core.vectorized import VectorizedEngine
+from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
+from repro.yet.table import YearEventTable
+
+__all__ = ["AggregateRiskEngine", "available_backends"]
+
+_BACKEND_CLASSES: Dict[str, Callable[[EngineConfig], object]] = {
+    "sequential": SequentialEngine,
+    "vectorized": VectorizedEngine,
+    "chunked": ChunkedEngine,
+    "multicore": MulticoreEngine,
+    "gpu": GPUSimulatedEngine,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the engine backends shipped with the library."""
+    return BACKEND_NAMES
+
+
+class AggregateRiskEngine:
+    """Facade over the aggregate-analysis backends."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config if config is not None else EngineConfig()
+        backend_cls = _BACKEND_CLASSES.get(self.config.backend)
+        if backend_cls is None:  # pragma: no cover - EngineConfig already validates
+            raise ValueError(f"unknown backend {self.config.backend!r}")
+        self._backend = backend_cls(self.config)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @property
+    def backend_name(self) -> str:
+        """Name of the selected backend."""
+        return self.config.backend
+
+    def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
+        """Run the aggregate analysis and return the full result object."""
+        return self._backend.run(program, yet)
+
+    def year_loss_table(self, program: ReinsuranceProgram | Layer, yet: YearEventTable):
+        """Run the analysis and return only the Year Loss Table."""
+        return self.run(program, yet).ylt
+
+    # ------------------------------------------------------------------ #
+    # Cross-backend validation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def compare_backends(
+        program: ReinsuranceProgram | Layer,
+        yet: YearEventTable,
+        backends: Iterable[str] = ("sequential", "vectorized", "chunked"),
+        base_config: EngineConfig | None = None,
+        rtol: float = 1e-9,
+        atol: float = 1e-6,
+    ) -> Mapping[str, EngineResult]:
+        """Run several backends on the same workload and assert agreement.
+
+        Returns the per-backend results; raises ``AssertionError`` with a
+        descriptive message if any backend's YLT deviates from the first
+        backend's YLT beyond the tolerances.
+        """
+        base = base_config if base_config is not None else EngineConfig()
+        results: Dict[str, EngineResult] = {}
+        reference_name: str | None = None
+        for name in backends:
+            engine = AggregateRiskEngine(base.with_backend(name))
+            results[name] = engine.run(program, yet)
+            if reference_name is None:
+                reference_name = name
+                continue
+            reference = results[reference_name].ylt.losses
+            candidate = results[name].ylt.losses
+            if not np.allclose(reference, candidate, rtol=rtol, atol=atol):
+                worst = float(np.max(np.abs(reference - candidate)))
+                raise AssertionError(
+                    f"backend {name!r} disagrees with {reference_name!r}: "
+                    f"max abs difference {worst:.3e}"
+                )
+        return results

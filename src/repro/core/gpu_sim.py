@@ -1,0 +1,152 @@
+"""Simulated-GPU backend.
+
+The backend executes the aggregate analysis *functionally* — block by block,
+with the same chunked kernel the optimised GPU implementation uses — and, for
+every layer, asks the :class:`~repro.parallel.device.SimulatedGPU` cost model
+how long the corresponding kernel launch would take on a Tesla-C2075-class
+device.  The engine result therefore carries two times:
+
+* ``wall_seconds`` — the measured wall-clock time of the NumPy execution on
+  the host (useful for comparing against the other Python backends), and
+* ``modeled_seconds`` — the modelled device time (the quantity compared
+  against the paper's Figures 4, 5 and 6a).
+
+``EngineConfig.threads_per_block`` determines how many trials form one
+simulated CUDA block; ``EngineConfig.gpu_chunk_size`` is the number of events
+staged per thread per chunk iteration; ``EngineConfig.gpu_optimised`` selects
+the basic (global-memory) or optimised (shared-memory, chunked) kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.config import EngineConfig
+from repro.core.kernels import layer_trial_losses, layer_trial_losses_chunked
+from repro.core.results import EngineResult
+from repro.parallel.device import KernelConfig, KernelEstimate, SimulatedGPU, WorkloadShape
+from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
+from repro.utils.timing import PhaseTimer, Timer
+from repro.yet.table import YearEventTable
+from repro.ylt.table import YearLossTable
+
+__all__ = ["GPUSimulatedEngine"]
+
+
+class GPUSimulatedEngine:
+    """Functional execution on the simulated many-core device."""
+
+    name = "gpu"
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config if config is not None else EngineConfig(backend="gpu")
+        self.device = SimulatedGPU(self.config.gpu_spec)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def kernel_config(self) -> KernelConfig:
+        """The kernel launch configuration implied by the engine config."""
+        return KernelConfig(
+            threads_per_block=self.config.threads_per_block,
+            chunk_size=self.config.gpu_chunk_size,
+            optimised=self.config.gpu_optimised,
+        )
+
+    def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
+        """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
+        if isinstance(program, Layer):
+            program = ReinsuranceProgram([program], name=program.name or "single-layer")
+        config = self.config
+        kernel_config = self.kernel_config()
+        timer = PhaseTimer(enabled=config.record_phases)
+        wall = Timer().start()
+
+        n_trials = yet.n_trials
+        losses = np.zeros((program.n_layers, n_trials), dtype=np.float64)
+        max_occ = (
+            np.zeros((program.n_layers, n_trials), dtype=np.float64)
+            if config.record_max_occurrence
+            else None
+        )
+        estimates: List[KernelEstimate] = []
+
+        threads = config.threads_per_block
+        for layer_index, layer in enumerate(program.layers):
+            matrix = layer.loss_matrix()
+            # Functional execution: process the trials one simulated CUDA
+            # block at a time.  Each block covers `threads_per_block` trials;
+            # within the block the chunked kernel stages `chunk_size` events
+            # per thread per iteration, i.e. threads * chunk_size flattened
+            # events per chunked gather.
+            for block_start in range(0, n_trials, threads):
+                block_stop = min(block_start + threads, n_trials)
+                lo = int(yet.trial_offsets[block_start])
+                hi = int(yet.trial_offsets[block_stop])
+                event_ids = yet.event_ids[lo:hi]
+                offsets = yet.trial_offsets[block_start : block_stop + 1] - lo
+                if config.gpu_optimised:
+                    year_losses, trial_max = layer_trial_losses_chunked(
+                        matrix,
+                        event_ids,
+                        offsets,
+                        layer.terms,
+                        chunk_events=threads * config.gpu_chunk_size,
+                        use_shortcut=config.use_aggregate_shortcut,
+                        record_max_occurrence=config.record_max_occurrence,
+                        timer=timer,
+                    )
+                else:
+                    year_losses, trial_max = layer_trial_losses(
+                        matrix,
+                        event_ids,
+                        offsets,
+                        layer.terms,
+                        use_shortcut=config.use_aggregate_shortcut,
+                        record_max_occurrence=config.record_max_occurrence,
+                        timer=timer,
+                    )
+                losses[layer_index, block_start:block_stop] = year_losses
+                if max_occ is not None and trial_max is not None:
+                    max_occ[layer_index, block_start:block_stop] = trial_max
+
+            layer_shape = WorkloadShape(
+                n_trials=n_trials,
+                events_per_trial=max(yet.mean_events_per_trial, 1e-9),
+                n_elts=layer.n_elts,
+                n_layers=1,
+            )
+            estimates.append(self.device.estimate(layer_shape, kernel_config))
+
+        wall_seconds = wall.stop()
+        shape = WorkloadShape(
+            n_trials=n_trials,
+            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
+            n_elts=max(int(round(program.mean_elts_per_layer)), 1),
+            n_layers=program.n_layers,
+        )
+        return EngineResult(
+            ylt=YearLossTable(losses, program.layer_names, max_occ),
+            backend=self.name,
+            wall_seconds=wall_seconds,
+            workload_shape=shape,
+            phase_breakdown=timer.breakdown() if config.record_phases else None,
+            modeled=tuple(estimates),
+            modeled_seconds=float(sum(est.seconds for est in estimates)),
+            details={
+                "threads_per_block": config.threads_per_block,
+                "chunk_size": config.gpu_chunk_size,
+                "optimised": config.gpu_optimised,
+                "device": self.device.spec.name,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Model-only estimation (used by the full-scale projections)
+    # ------------------------------------------------------------------ #
+    def estimate_only(self, shape: WorkloadShape) -> KernelEstimate:
+        """Modelled kernel time for a workload shape without executing it."""
+        return self.device.estimate(shape, self.kernel_config())

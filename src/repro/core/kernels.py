@@ -1,0 +1,157 @@
+"""Vectorised aggregate-analysis kernels.
+
+These functions are the NumPy translation of the per-trial body of the
+paper's basic algorithm (lines 3–19) operating on *all* trials of a Year
+Event Table at once (or on a contiguous chunk of its flattened events).  They
+are shared by the vectorized, chunked, multicore and simulated-GPU backends —
+the backends differ only in *how* they partition the work, not in the maths.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.phases import (
+    PHASE_ELT_LOOKUP,
+    PHASE_EVENT_FETCH,
+    PHASE_FINANCIAL_TERMS,
+    PHASE_LAYER_TERMS,
+)
+from repro.elt.combined import LayerLossMatrix
+from repro.financial.policies import (
+    aggregate_terms_shortcut,
+    apply_aggregate_terms_cumulative,
+    apply_financial_terms_matrix,
+    apply_occurrence_terms,
+)
+from repro.financial.terms import LayerTerms
+from repro.utils.arrays import segment_max
+from repro.utils.timing import PhaseTimer
+
+__all__ = ["combined_event_losses", "layer_trial_losses", "layer_trial_losses_chunked"]
+
+
+def combined_event_losses(
+    matrix: LayerLossMatrix,
+    event_ids: np.ndarray,
+    timer: PhaseTimer | None = None,
+) -> np.ndarray:
+    """Per-event losses combined across a layer's ELTs, net of financial terms.
+
+    This covers lines 3–9 of the basic algorithm: gather every event's loss
+    from every ELT (the random direct-access-table lookups), apply the per-ELT
+    financial terms ``I`` and sum across ELTs.
+
+    Parameters
+    ----------
+    matrix:
+        The layer's dense loss matrix.
+    event_ids:
+        Flattened event ids (any number of trials' events concatenated).
+    timer:
+        Optional phase timer (``elt_lookup`` / ``financial_terms`` phases).
+    """
+    timer = timer if timer is not None else PhaseTimer(enabled=False)
+    with timer.phase(PHASE_ELT_LOOKUP):
+        gathered = matrix.gather(event_ids)
+    with timer.phase(PHASE_FINANCIAL_TERMS):
+        net = apply_financial_terms_matrix(
+            gathered, matrix.retentions, matrix.limits, matrix.shares, matrix.fx_rates
+        )
+        combined = net.sum(axis=0)
+    return combined
+
+
+def layer_trial_losses(
+    matrix: LayerLossMatrix,
+    event_ids: np.ndarray,
+    trial_offsets: np.ndarray,
+    terms: LayerTerms,
+    use_shortcut: bool = True,
+    record_max_occurrence: bool = True,
+    timer: PhaseTimer | None = None,
+) -> Tuple[np.ndarray, np.ndarray | None]:
+    """Year losses (and optional per-trial maximum occurrence losses) of one layer.
+
+    The full vectorised pipeline: event fetch -> ELT lookup -> financial terms
+    -> occurrence terms -> aggregate terms, over every trial delimited by
+    ``trial_offsets``.
+
+    Returns
+    -------
+    (year_losses, max_occurrence_losses):
+        ``year_losses`` has one entry per trial; ``max_occurrence_losses`` is
+        ``None`` unless ``record_max_occurrence`` is set.
+    """
+    timer = timer if timer is not None else PhaseTimer(enabled=False)
+    with timer.phase(PHASE_EVENT_FETCH):
+        # The YET is already resident; "fetching" is materialising the flat
+        # event-id view the gathers will consume (a contiguous copy mirrors
+        # the engine reading the trial's events from the in-memory table).
+        ids = np.ascontiguousarray(event_ids, dtype=np.int64)
+
+    combined = combined_event_losses(matrix, ids, timer)
+
+    with timer.phase(PHASE_LAYER_TERMS):
+        occurrence = apply_occurrence_terms(combined, terms)
+        if use_shortcut:
+            year_losses = aggregate_terms_shortcut(occurrence, trial_offsets, terms)
+        else:
+            year_losses = apply_aggregate_terms_cumulative(occurrence, trial_offsets, terms)
+        max_occurrence = (
+            segment_max(occurrence, trial_offsets) if record_max_occurrence else None
+        )
+    return year_losses, max_occurrence
+
+
+def layer_trial_losses_chunked(
+    matrix: LayerLossMatrix,
+    event_ids: np.ndarray,
+    trial_offsets: np.ndarray,
+    terms: LayerTerms,
+    chunk_events: int,
+    use_shortcut: bool = True,
+    record_max_occurrence: bool = True,
+    timer: PhaseTimer | None = None,
+) -> Tuple[np.ndarray, np.ndarray | None]:
+    """Chunked variant of :func:`layer_trial_losses`.
+
+    The flattened event stream is processed in chunks of ``chunk_events``
+    occurrences so that the ``(n_elts, chunk_events)`` gather buffer — the
+    working set — stays bounded regardless of the YET size.  This is the CPU
+    analogue of the optimised GPU kernel's shared-memory staging: the combined
+    per-event losses are accumulated into a single 1-D array and the layer
+    terms are applied once at the end.
+    """
+    if chunk_events <= 0:
+        raise ValueError(f"chunk_events must be positive, got {chunk_events}")
+    timer = timer if timer is not None else PhaseTimer(enabled=False)
+
+    with timer.phase(PHASE_EVENT_FETCH):
+        ids = np.ascontiguousarray(event_ids, dtype=np.int64)
+    total = ids.shape[0]
+    combined = np.empty(total, dtype=np.float64)
+
+    for start in range(0, total, int(chunk_events)):
+        stop = min(start + int(chunk_events), total)
+        chunk_ids = ids[start:stop]
+        with timer.phase(PHASE_ELT_LOOKUP):
+            gathered = matrix.gather(chunk_ids)
+        with timer.phase(PHASE_FINANCIAL_TERMS):
+            net = apply_financial_terms_matrix(
+                gathered, matrix.retentions, matrix.limits, matrix.shares, matrix.fx_rates
+            )
+            combined[start:stop] = net.sum(axis=0)
+
+    with timer.phase(PHASE_LAYER_TERMS):
+        occurrence = apply_occurrence_terms(combined, terms)
+        if use_shortcut:
+            year_losses = aggregate_terms_shortcut(occurrence, trial_offsets, terms)
+        else:
+            year_losses = apply_aggregate_terms_cumulative(occurrence, trial_offsets, terms)
+        max_occurrence = (
+            segment_max(occurrence, trial_offsets) if record_max_occurrence else None
+        )
+    return year_losses, max_occurrence

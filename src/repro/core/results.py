@@ -1,0 +1,75 @@
+"""Engine result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.parallel.device import KernelEstimate, WorkloadShape
+from repro.utils.timing import TimingBreakdown
+from repro.ylt.table import YearLossTable
+
+__all__ = ["EngineResult"]
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Output of one aggregate-analysis run.
+
+    Attributes
+    ----------
+    ylt:
+        The Year Loss Table (one row per layer).
+    backend:
+        Name of the backend that produced the result.
+    wall_seconds:
+        Measured wall-clock time of the analysis stage (excludes workload
+        generation; includes the backend's own data-structure preparation,
+        matching the paper's "analysis stage" timing).
+    workload_shape:
+        Shape of the analysed workload (trials, events/trial, ELTs, layers).
+    phase_breakdown:
+        Per-phase timing (Fig. 6b) when phase recording was enabled.
+    modeled:
+        Per-layer simulated-device estimates (GPU backend only).
+    modeled_seconds:
+        Sum of the modelled kernel times (GPU backend only; ``None`` otherwise).
+    details:
+        Backend-specific extras (e.g. scheduling information).
+    """
+
+    ylt: YearLossTable
+    backend: str
+    wall_seconds: float
+    workload_shape: WorkloadShape
+    phase_breakdown: TimingBreakdown | None = None
+    modeled: Sequence[KernelEstimate] = field(default_factory=tuple)
+    modeled_seconds: float | None = None
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials analysed."""
+        return self.ylt.n_trials
+
+    @property
+    def n_layers(self) -> int:
+        """Number of layers analysed."""
+        return self.ylt.n_layers
+
+    @property
+    def trials_per_second(self) -> float:
+        """Throughput of the run in (layer, trial) pairs per second."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.n_trials * self.n_layers / self.wall_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the run."""
+        text = (
+            f"backend={self.backend} layers={self.n_layers} trials={self.n_trials} "
+            f"wall={self.wall_seconds:.4f}s"
+        )
+        if self.modeled_seconds is not None:
+            text += f" modeled={self.modeled_seconds:.3f}s"
+        return text

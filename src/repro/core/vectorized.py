@@ -1,0 +1,81 @@
+"""Vectorized (whole-YET) backend.
+
+One call to the shared kernels per layer: the flattened event-id array of the
+entire Year Event Table is gathered against the layer's dense loss matrix in a
+single fancy-indexing operation, the financial and layer terms are applied as
+array expressions, and per-trial reductions produce the Year Loss Table.  This
+is the "make the inner loops disappear" translation of the paper's
+one-thread-per-trial data parallelism to NumPy: the data parallelism is across
+*all* trials at once rather than across hardware threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import EngineConfig
+from repro.core.kernels import layer_trial_losses
+from repro.core.results import EngineResult
+from repro.parallel.device import WorkloadShape
+from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
+from repro.utils.timing import PhaseTimer, Timer
+from repro.yet.table import YearEventTable
+from repro.ylt.table import YearLossTable
+
+__all__ = ["VectorizedEngine"]
+
+
+class VectorizedEngine:
+    """NumPy data-parallel backend operating on the whole YET at once."""
+
+    name = "vectorized"
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config if config is not None else EngineConfig(backend="vectorized")
+
+    def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
+        """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
+        if isinstance(program, Layer):
+            program = ReinsuranceProgram([program], name=program.name or "single-layer")
+        config = self.config
+        timer = PhaseTimer(enabled=config.record_phases)
+        wall = Timer().start()
+
+        n_trials = yet.n_trials
+        losses = np.zeros((program.n_layers, n_trials), dtype=np.float64)
+        max_occ = (
+            np.zeros((program.n_layers, n_trials), dtype=np.float64)
+            if config.record_max_occurrence
+            else None
+        )
+
+        for layer_index, layer in enumerate(program.layers):
+            matrix = layer.loss_matrix()
+            year_losses, trial_max = layer_trial_losses(
+                matrix,
+                yet.event_ids,
+                yet.trial_offsets,
+                layer.terms,
+                use_shortcut=config.use_aggregate_shortcut,
+                record_max_occurrence=config.record_max_occurrence,
+                timer=timer,
+            )
+            losses[layer_index] = year_losses
+            if max_occ is not None and trial_max is not None:
+                max_occ[layer_index] = trial_max
+
+        wall_seconds = wall.stop()
+        shape = WorkloadShape(
+            n_trials=n_trials,
+            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
+            n_elts=max(int(round(program.mean_elts_per_layer)), 1),
+            n_layers=program.n_layers,
+        )
+        return EngineResult(
+            ylt=YearLossTable(losses, program.layer_names, max_occ),
+            backend=self.name,
+            wall_seconds=wall_seconds,
+            workload_shape=shape,
+            phase_breakdown=timer.breakdown() if config.record_phases else None,
+        )

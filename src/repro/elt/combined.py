@@ -1,0 +1,114 @@
+"""Layer-level combined ELT storage.
+
+The paper's example: "if a layer has 15 ELTs, then 15 x 2 million = 30 million
+event-loss pairs are generated in memory" — i.e. the layer's ELTs are held as
+a stack of direct access tables.  :class:`LayerLossMatrix` is exactly that
+stack: a dense ``(n_elts, catalog_size)`` float64 matrix together with the
+per-ELT financial-term vectors, laid out so that the vectorized backends can
+gather the losses of every trial event from every ELT in a single fancy-index
+operation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.elt.table import EventLossTable
+
+__all__ = ["LayerLossMatrix"]
+
+
+class LayerLossMatrix:
+    """Dense per-layer loss matrix plus vectorised per-ELT financial terms.
+
+    Parameters
+    ----------
+    elts:
+        The Event Loss Tables covered by a layer (3–30 in practice).
+
+    Attributes
+    ----------
+    losses:
+        ``(n_elts, catalog_size)`` dense float64 matrix of expected losses.
+    retentions, limits, shares:
+        Per-ELT financial-term vectors of length ``n_elts`` (the components of
+        ``I`` applied to each event loss extracted from the corresponding ELT).
+    """
+
+    def __init__(self, elts: Sequence[EventLossTable]) -> None:
+        if not elts:
+            raise ValueError("a layer must cover at least one ELT")
+        catalog_sizes = {elt.catalog_size for elt in elts}
+        if len(catalog_sizes) != 1:
+            raise ValueError(
+                f"all ELTs of a layer must share one catalog size, got {sorted(catalog_sizes)}"
+            )
+        self.catalog_size = catalog_sizes.pop()
+        self.n_elts = len(elts)
+        self.names = tuple(elt.name for elt in elts)
+
+        self.losses = np.zeros((self.n_elts, self.catalog_size), dtype=np.float64)
+        retentions = np.zeros(self.n_elts, dtype=np.float64)
+        limits = np.zeros(self.n_elts, dtype=np.float64)
+        shares = np.zeros(self.n_elts, dtype=np.float64)
+        fx = np.zeros(self.n_elts, dtype=np.float64)
+        for row, elt in enumerate(elts):
+            self.losses[row, elt.event_ids] = elt.losses
+            terms = elt.terms
+            retentions[row] = terms.retention
+            limits[row] = terms.limit
+            shares[row] = terms.share
+            fx[row] = terms.fx_rate
+        self.retentions = retentions
+        self.limits = limits
+        self.shares = shares
+        self.fx_rates = fx
+        self._n_records = int(sum(elt.size for elt in elts))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_records(self) -> int:
+        """Total number of non-zero (event, loss) records across the ELTs."""
+        return self._n_records
+
+    @property
+    def memory_bytes(self) -> int:
+        """Memory footprint of the dense loss matrix plus term vectors."""
+        return int(
+            self.losses.nbytes
+            + self.retentions.nbytes
+            + self.limits.nbytes
+            + self.shares.nbytes
+            + self.fx_rates.nbytes
+        )
+
+    def gather(self, event_ids: np.ndarray) -> np.ndarray:
+        """Gather the losses of ``event_ids`` from every ELT.
+
+        Returns an ``(n_elts, len(event_ids))`` matrix — the vectorised
+        equivalent of the basic algorithm's lines 3–5 (per-event ELT lookups).
+        """
+        ids = np.asarray(event_ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.catalog_size):
+            raise IndexError("event ids out of range of the catalog")
+        return self.losses[:, ids]
+
+    def ground_up_event_losses(self, event_ids: np.ndarray) -> np.ndarray:
+        """Per-event ground-up losses summed over ELTs (no financial terms)."""
+        return self.gather(event_ids).sum(axis=0)
+
+    def row(self, index: int) -> np.ndarray:
+        """Dense loss vector of the ``index``-th ELT (read-only view)."""
+        view = self.losses[index].view()
+        view.flags.writeable = False
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LayerLossMatrix(n_elts={self.n_elts}, catalog_size={self.catalog_size}, "
+            f"records={self._n_records}, memory={self.memory_bytes / 1e6:.1f} MB)"
+        )

@@ -1,0 +1,78 @@
+"""Per-ELT summary statistics.
+
+These are the standard catastrophe-model outputs an analyst inspects before
+running the aggregate analysis: expected annual loss contribution, loss
+percentiles, and largest single-event losses.  They also give tests a cheap
+way to validate that the synthetic catastrophe model produces sensible ELTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.elt.table import EventLossTable
+
+__all__ = ["ELTStatistics", "elt_statistics"]
+
+
+@dataclass(frozen=True)
+class ELTStatistics:
+    """Summary statistics of one Event Loss Table.
+
+    Attributes
+    ----------
+    n_records:
+        Number of events with non-zero expected loss.
+    density:
+        ``n_records / catalog_size``.
+    total_loss:
+        Sum of expected losses over all events (the unweighted loss mass).
+    mean_loss, max_loss, min_loss:
+        Moments and extremes of the non-zero expected losses.
+    loss_percentiles:
+        (p50, p90, p99) of the non-zero expected losses.
+    """
+
+    n_records: int
+    density: float
+    total_loss: float
+    mean_loss: float
+    max_loss: float
+    min_loss: float
+    loss_percentiles: tuple[float, float, float]
+
+    def format_summary(self) -> str:
+        """One-line human-readable summary."""
+        p50, p90, p99 = self.loss_percentiles
+        return (
+            f"records={self.n_records} density={self.density:.2e} "
+            f"total={self.total_loss:.3e} mean={self.mean_loss:.3e} "
+            f"p50={p50:.3e} p90={p90:.3e} p99={p99:.3e} max={self.max_loss:.3e}"
+        )
+
+
+def elt_statistics(elt: EventLossTable) -> ELTStatistics:
+    """Compute :class:`ELTStatistics` for one ELT."""
+    losses = elt.losses
+    if losses.size == 0:
+        return ELTStatistics(
+            n_records=0,
+            density=0.0,
+            total_loss=0.0,
+            mean_loss=0.0,
+            max_loss=0.0,
+            min_loss=0.0,
+            loss_percentiles=(0.0, 0.0, 0.0),
+        )
+    percentiles = np.percentile(losses, [50.0, 90.0, 99.0])
+    return ELTStatistics(
+        n_records=elt.size,
+        density=elt.density,
+        total_loss=float(losses.sum()),
+        mean_loss=float(losses.mean()),
+        max_loss=float(losses.max()),
+        min_loss=float(losses.min()),
+        loss_percentiles=(float(percentiles[0]), float(percentiles[1]), float(percentiles[2])),
+    )

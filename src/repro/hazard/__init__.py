@@ -1,0 +1,36 @@
+"""Catastrophe model substrate: hazard intensity + vulnerability -> ELT.
+
+Stage 1 of the analytical pipeline (Section I of the paper): "Each
+event-exposure pair is then analysed by a risk model that quantifies the
+hazard intensity at the exposure site, the vulnerability of the building and
+resulting damage level, and the resultant expected loss, given the customer's
+financial terms.  The output of a catastrophe model is an Event Loss Table."
+
+This subpackage implements that stage with deliberately simple but structurally
+faithful components:
+
+* :mod:`repro.hazard.intensity` — per-event hazard footprints: which regions an
+  event touches and with what site-level intensity attenuation;
+* :mod:`repro.hazard.vulnerability` — damage-ratio curves per construction
+  class (mean damage ratio as a function of hazard intensity);
+* :mod:`repro.hazard.catmodel` — the :class:`CatastropheModel` that combines a
+  catalog, a footprint model and vulnerability curves with an exposure
+  portfolio to produce an :class:`~repro.elt.table.EventLossTable`.
+"""
+
+from repro.hazard.catmodel import CatastropheModel
+from repro.hazard.intensity import FootprintModel, RegionalFootprintModel
+from repro.hazard.vulnerability import (
+    VulnerabilityCurve,
+    VulnerabilityModel,
+    default_vulnerability_model,
+)
+
+__all__ = [
+    "FootprintModel",
+    "RegionalFootprintModel",
+    "VulnerabilityCurve",
+    "VulnerabilityModel",
+    "default_vulnerability_model",
+    "CatastropheModel",
+]

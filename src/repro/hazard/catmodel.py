@@ -1,0 +1,153 @@
+"""The catastrophe model: (catalog, exposure set) -> Event Loss Table.
+
+The model is vectorised over events by pre-aggregating the exposure portfolio
+into a ``(n_regions, n_construction_classes)`` matrix of insured value.  For an
+event with site intensity ``i_r`` in region ``r``, the expected loss is
+
+``sum_{r, c} value[r, c] * mdr_c(i_r * intensity_scale)``
+
+optionally scaled so that the largest catalog events reproduce the peril's
+mean severity on an industry-wide exposure.  Only events whose footprint
+touches a region where the portfolio holds value contribute a non-zero loss,
+which produces ELTs that are sparse relative to the full catalog — exactly the
+structure the paper's direct-access-table discussion assumes (e.g. ~20 K
+non-zero records against a 2 M-event catalog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.events import EventCatalog
+from repro.elt.table import EventLossTable
+from repro.exposure.building import ConstructionClass
+from repro.exposure.portfolio import ExposurePortfolio
+from repro.financial.terms import FinancialTerms
+from repro.hazard.intensity import FootprintModel, RegionalFootprintModel
+from repro.hazard.vulnerability import VulnerabilityModel, default_vulnerability_model
+from repro.utils.validation import ensure_positive
+
+__all__ = ["CatastropheModel", "CatModelSettings"]
+
+
+@dataclass(frozen=True)
+class CatModelSettings:
+    """Tunable parameters of the catastrophe model.
+
+    Attributes
+    ----------
+    loss_threshold:
+        Expected losses below this value are dropped from the ELT (real cat
+        models apply a similar reporting threshold); this is what keeps the
+        ELTs sparse.
+    intensity_scale:
+        Multiplier applied to footprint intensities before the vulnerability
+        curves (a crude site-hazard modifier).
+    demand_surge:
+        Post-event demand-surge multiplier applied to all losses (>= 1).
+    """
+
+    loss_threshold: float = 1.0
+    intensity_scale: float = 1.0
+    demand_surge: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.loss_threshold < 0:
+            raise ValueError(f"loss_threshold must be non-negative, got {self.loss_threshold}")
+        ensure_positive(self.intensity_scale, "intensity_scale")
+        if self.demand_surge < 1.0:
+            raise ValueError(f"demand_surge must be >= 1, got {self.demand_surge}")
+
+
+class CatastropheModel:
+    """Produces Event Loss Tables from a catalog and exposure portfolios."""
+
+    def __init__(
+        self,
+        catalog: EventCatalog,
+        n_regions: int,
+        footprint_model: FootprintModel | None = None,
+        vulnerability_model: VulnerabilityModel | None = None,
+        settings: CatModelSettings | None = None,
+    ) -> None:
+        if n_regions <= 0:
+            raise ValueError(f"n_regions must be positive, got {n_regions}")
+        self.catalog = catalog
+        self.n_regions = int(n_regions)
+        self.footprint_model = footprint_model or RegionalFootprintModel()
+        self.vulnerability_model = vulnerability_model or default_vulnerability_model()
+        self.settings = settings or CatModelSettings()
+        # (n_events, n_regions) site intensities; computed once per model.
+        self._intensity = self.footprint_model.intensity_matrix(catalog, self.n_regions)
+        if self._intensity.shape != (catalog.size, self.n_regions):
+            raise ValueError(
+                "footprint model returned matrix of shape "
+                f"{self._intensity.shape}, expected {(catalog.size, self.n_regions)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Exposure aggregation
+    # ------------------------------------------------------------------ #
+    def _exposure_value_matrix(self, portfolio: ExposurePortfolio) -> np.ndarray:
+        """Aggregate the portfolio into an (n_regions, n_constructions) value matrix.
+
+        Site-level coverage participation is applied as a value scaling; the
+        site deductible is ignored at this aggregated level (it is second-order
+        for portfolio-level expected losses and keeps the model linear).
+        """
+        order = tuple(ConstructionClass)
+        matrix = np.zeros((self.n_regions, len(order)), dtype=np.float64)
+        regions = np.clip(portfolio.regions, 0, self.n_regions - 1)
+        effective_value = portfolio.replacement_values * portfolio.participations
+        np.add.at(matrix, (regions, portfolio.construction_codes.astype(np.int64)), effective_value)
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # ELT generation
+    # ------------------------------------------------------------------ #
+    def event_losses(self, portfolio: ExposurePortfolio) -> np.ndarray:
+        """Expected loss of every catalog event against ``portfolio`` (dense)."""
+        order = tuple(ConstructionClass)
+        value_matrix = self._exposure_value_matrix(portfolio)  # (R, C)
+        losses = np.zeros(self.catalog.size, dtype=np.float64)
+        # Only regions with exposure contribute.
+        active_regions = np.nonzero(value_matrix.sum(axis=1) > 0.0)[0]
+        if active_regions.size == 0:
+            return losses
+        for region in active_regions:
+            intensities = self._intensity[:, region] * self.settings.intensity_scale
+            affected = np.nonzero(intensities > 0.0)[0]
+            if affected.size == 0:
+                continue
+            damage = self.vulnerability_model.damage_matrix(intensities[affected], order)
+            losses[affected] += damage @ value_matrix[region]
+        losses *= self.settings.demand_surge
+        return losses
+
+    def generate_elt(
+        self,
+        portfolio: ExposurePortfolio,
+        terms: FinancialTerms | None = None,
+        name: str | None = None,
+    ) -> EventLossTable:
+        """Run the model for one exposure set and return its ELT."""
+        losses = self.event_losses(portfolio)
+        mask = losses > self.settings.loss_threshold
+        event_ids = np.nonzero(mask)[0].astype(np.int64)
+        return EventLossTable(
+            event_ids=event_ids,
+            losses=losses[mask],
+            catalog_size=self.catalog.size,
+            terms=terms,
+            name=name if name is not None else portfolio.name,
+        )
+
+    def generate_elts(
+        self,
+        portfolios: list[ExposurePortfolio],
+        terms: FinancialTerms | None = None,
+    ) -> list[EventLossTable]:
+        """Run the model for several exposure sets."""
+        return [self.generate_elt(portfolio, terms) for portfolio in portfolios]

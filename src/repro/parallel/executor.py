@@ -1,0 +1,166 @@
+"""Process-pool execution of trial blocks (the OpenMP analogue).
+
+The executor maps a *block function* over the work items of a
+:class:`~repro.parallel.scheduling.Schedule`.  Large read-only inputs (the
+YET, the layer loss matrices) are published to the workers either through
+shared memory descriptors or — on fork-capable platforms — through a
+module-level global installed by the pool initializer, so that the per-task
+pickling cost stays constant in the size of the data.
+
+The block function must be a picklable top-level callable taking
+``(context, trial_range)`` and returning a picklable result; the engine's
+multicore backend provides such a function.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Sequence
+
+from repro.parallel.scheduling import Schedule, SchedulingPolicy, make_schedule
+from repro.utils.validation import ensure_positive
+
+__all__ = ["available_cores", "ParallelConfig", "TrialBlockExecutor"]
+
+# Module-level slot the pool initializer fills in each worker process.  Block
+# functions receive its value as their ``context`` argument.
+_WORKER_CONTEXT: Any = None
+
+
+def available_cores() -> int:
+    """Number of usable CPU cores (respecting CPU affinity when set)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _init_worker(context_factory: Callable[[], Any] | None, context: Any) -> None:
+    """Pool initializer: install the worker-side context.
+
+    If ``context_factory`` is given it is called in the worker (e.g. to attach
+    shared memory); otherwise the pickled ``context`` value is used directly.
+    """
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context_factory() if context_factory is not None else context
+
+
+def _run_block(args: tuple[Callable[[Any, Any], Any], Any]) -> Any:
+    """Top-level task wrapper executed in the worker."""
+    block_fn, work_item = args
+    return block_fn(_WORKER_CONTEXT, work_item)
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Configuration of a multi-process run.
+
+    Attributes
+    ----------
+    n_workers:
+        Number of worker processes ("cores"); defaults to the machine's core
+        count.
+    policy:
+        Static or dynamic scheduling (see :mod:`repro.parallel.scheduling`).
+    oversubscription:
+        Work items per worker under dynamic scheduling (the paper's "threads
+        per core").
+    start_method:
+        Multiprocessing start method; ``"fork"`` shares read-only data with
+        workers for free on Linux, ``"spawn"`` is portable but requires the
+        context to be picklable or reconstructible in the worker.
+    """
+
+    n_workers: int = field(default_factory=available_cores)
+    policy: SchedulingPolicy = SchedulingPolicy.STATIC
+    oversubscription: int = 1
+    start_method: str = "fork"
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.n_workers, "n_workers")
+        ensure_positive(self.oversubscription, "oversubscription")
+        if self.start_method not in ("fork", "spawn", "forkserver"):
+            raise ValueError(f"unknown start method {self.start_method!r}")
+
+
+class TrialBlockExecutor:
+    """Maps a block function over trial blocks with a process pool.
+
+    Parameters
+    ----------
+    config:
+        Parallel run configuration.
+    context:
+        Read-only object passed to every block invocation (e.g. the workload
+        arrays).  With the ``fork`` start method it is inherited by reference;
+        with ``spawn`` it is pickled once per worker.
+    context_factory:
+        Alternative to ``context``: a picklable zero-argument callable invoked
+        once per worker to build the context there (e.g. attach to shared
+        memory).  Takes precedence over ``context`` when provided.
+    """
+
+    def __init__(
+        self,
+        config: ParallelConfig | None = None,
+        context: Any = None,
+        context_factory: Callable[[], Any] | None = None,
+    ) -> None:
+        self.config = config if config is not None else ParallelConfig()
+        self._context = context
+        self._context_factory = context_factory
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def schedule_for(self, n_trials: int) -> Schedule:
+        """The schedule this executor would use for ``n_trials`` trials."""
+        return make_schedule(
+            n_trials,
+            self.config.n_workers,
+            self.config.policy,
+            self.config.oversubscription,
+        )
+
+    def run(
+        self,
+        block_fn: Callable[[Any, Any], Any],
+        work_items: Sequence[Any] | None = None,
+        n_trials: int | None = None,
+    ) -> List[Any]:
+        """Run ``block_fn`` over work items and return the per-item results in order.
+
+        Either ``work_items`` (arbitrary picklable items) or ``n_trials``
+        (from which a schedule of :class:`TrialRange` items is built) must be
+        given.
+        """
+        if work_items is None:
+            if n_trials is None:
+                raise ValueError("either work_items or n_trials must be provided")
+            work_items = list(self.schedule_for(int(n_trials)).blocks)
+        items = list(work_items)
+        if not items:
+            return []
+
+        # Serial fast path: avoids process start-up cost and simplifies
+        # debugging/profiling; used when one worker is requested.
+        if self.config.n_workers == 1:
+            context = (
+                self._context_factory() if self._context_factory is not None else self._context
+            )
+            return [block_fn(context, item) for item in items]
+
+        ctx = mp.get_context(self.config.start_method)
+        chunksize = 1  # work items are already coarse-grained
+        tasks: Iterable[tuple[Callable[[Any, Any], Any], Any]] = [
+            (block_fn, item) for item in items
+        ]
+        with ctx.Pool(
+            processes=self.config.n_workers,
+            initializer=_init_worker,
+            initargs=(self._context_factory, self._context),
+        ) as pool:
+            results = pool.map(_run_block, tasks, chunksize=chunksize)
+        return results

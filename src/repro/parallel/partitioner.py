@@ -1,0 +1,93 @@
+"""Trial-range partitioning.
+
+The unit of parallel work in the aggregate analysis is the trial.  These
+helpers split the trial index range ``[0, n_trials)`` into work items:
+
+* :func:`block_partition` — ``k`` contiguous, nearly-equal blocks (the static
+  OpenMP-style decomposition used with one block per core);
+* :func:`chunk_partition` — fixed-size contiguous chunks (the decomposition
+  used for dynamic scheduling / oversubscription, where many more chunks than
+  workers are queued);
+* :func:`cyclic_partition` — round-robin assignment of individual trials (kept
+  for completeness; poor locality makes it a baseline, not a recommendation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+__all__ = ["TrialRange", "block_partition", "chunk_partition", "cyclic_partition"]
+
+
+@dataclass(frozen=True)
+class TrialRange:
+    """A contiguous range of trial indices ``[start, stop)`` owned by one work item."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(f"invalid trial range [{self.start}, {self.stop})")
+
+    @property
+    def size(self) -> int:
+        """Number of trials in the range."""
+        return self.stop - self.start
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.stop))
+
+    def __len__(self) -> int:
+        return self.size
+
+
+def block_partition(n_trials: int, n_blocks: int) -> List[TrialRange]:
+    """Split ``n_trials`` into ``n_blocks`` contiguous, nearly equal blocks.
+
+    The first ``n_trials % n_blocks`` blocks receive one extra trial.  Empty
+    blocks are produced when ``n_blocks > n_trials`` so that callers can rely
+    on receiving exactly ``n_blocks`` ranges.
+    """
+    if n_trials < 0:
+        raise ValueError(f"n_trials must be non-negative, got {n_trials}")
+    if n_blocks <= 0:
+        raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+    base = n_trials // n_blocks
+    remainder = n_trials % n_blocks
+    ranges: List[TrialRange] = []
+    start = 0
+    for block in range(n_blocks):
+        size = base + (1 if block < remainder else 0)
+        ranges.append(TrialRange(start, start + size))
+        start += size
+    return ranges
+
+
+def chunk_partition(n_trials: int, chunk_size: int) -> List[TrialRange]:
+    """Split ``n_trials`` into contiguous chunks of at most ``chunk_size`` trials."""
+    if n_trials < 0:
+        raise ValueError(f"n_trials must be non-negative, got {n_trials}")
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    ranges = []
+    for start in range(0, n_trials, chunk_size):
+        ranges.append(TrialRange(start, min(start + chunk_size, n_trials)))
+    return ranges if ranges else [TrialRange(0, 0)]
+
+
+def cyclic_partition(n_trials: int, n_workers: int) -> List[np.ndarray]:
+    """Round-robin assignment of trial indices to ``n_workers`` workers.
+
+    Returns one index array per worker (worker ``w`` gets trials
+    ``w, w + n_workers, w + 2*n_workers, ...``).
+    """
+    if n_trials < 0:
+        raise ValueError(f"n_trials must be non-negative, got {n_trials}")
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    indices = np.arange(n_trials, dtype=np.int64)
+    return [indices[w::n_workers] for w in range(n_workers)]

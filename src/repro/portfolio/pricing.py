@@ -1,0 +1,126 @@
+"""Layer pricing from simulated year-loss distributions.
+
+Pricing a reinsurance layer from the aggregate analysis output is the business
+purpose of the real-time scenario in Section IV: the underwriter re-runs the
+engine under candidate terms and needs the expected loss, volatility loading
+and resulting premium for each candidate.  The standard technical-premium
+formula used here is
+
+``premium = expected_loss + volatility_load * std + expense_ratio * premium``
+
+solved for the premium, i.e. ``premium = (EL + k * std) / (1 - expense_ratio)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.portfolio.layer import Layer
+from repro.utils.validation import ensure_non_negative
+from repro.ylt.metrics import RiskMetrics, compute_risk_metrics
+
+__all__ = ["LayerPricing", "price_layer", "rate_on_line", "loss_ratio"]
+
+
+@dataclass(frozen=True)
+class LayerPricing:
+    """Pricing result for one layer.
+
+    Attributes
+    ----------
+    expected_loss:
+        Mean annual loss to the layer (the AAL of its year losses).
+    volatility_load:
+        The volatility loading amount (``k * std``).
+    expense_load:
+        The expense/profit loading amount.
+    technical_premium:
+        Total technical premium (expected loss + loads).
+    rate_on_line:
+        Premium divided by the layer's aggregate limit (when finite).
+    metrics:
+        Full risk metrics of the layer's year losses.
+    """
+
+    expected_loss: float
+    volatility_load: float
+    expense_load: float
+    technical_premium: float
+    rate_on_line: float
+    metrics: RiskMetrics
+
+    def summary(self) -> str:
+        """One-line pricing summary."""
+        rol = f"{self.rate_on_line:.1%}" if np.isfinite(self.rate_on_line) else "n/a"
+        return (
+            f"EL={self.expected_loss:,.0f} "
+            f"vol_load={self.volatility_load:,.0f} "
+            f"premium={self.technical_premium:,.0f} "
+            f"RoL={rol}"
+        )
+
+
+def rate_on_line(premium: float, aggregate_limit: float) -> float:
+    """Premium as a fraction of the layer's (finite) aggregate limit."""
+    ensure_non_negative(premium, "premium")
+    if aggregate_limit <= 0:
+        raise ValueError(f"aggregate_limit must be positive, got {aggregate_limit}")
+    if not np.isfinite(aggregate_limit):
+        return float("nan")
+    return premium / aggregate_limit
+
+
+def loss_ratio(expected_loss: float, premium: float) -> float:
+    """Expected loss divided by premium (the underwriter's loss ratio)."""
+    ensure_non_negative(expected_loss, "expected_loss")
+    if premium <= 0:
+        raise ValueError(f"premium must be positive, got {premium}")
+    return expected_loss / premium
+
+
+def price_layer(
+    layer: Layer,
+    year_losses: np.ndarray,
+    volatility_loading: float = 0.3,
+    expense_ratio: float = 0.15,
+) -> LayerPricing:
+    """Price a layer from its simulated year losses.
+
+    Parameters
+    ----------
+    layer:
+        The layer being priced (its aggregate limit feeds the rate on line).
+    year_losses:
+        Per-trial year losses of the layer from the aggregate analysis.
+    volatility_loading:
+        Multiplier ``k`` on the year-loss standard deviation.
+    expense_ratio:
+        Fraction of the premium consumed by expenses and profit margin,
+        in ``[0, 1)``.
+    """
+    ensure_non_negative(volatility_loading, "volatility_loading")
+    if not 0.0 <= expense_ratio < 1.0:
+        raise ValueError(f"expense_ratio must be in [0, 1), got {expense_ratio}")
+
+    metrics = compute_risk_metrics(year_losses)
+    expected_loss = metrics.aal
+    volatility_load = volatility_loading * metrics.std
+    premium = (expected_loss + volatility_load) / (1.0 - expense_ratio)
+    expense_load = premium - expected_loss - volatility_load
+
+    limit = layer.terms.aggregate_limit
+    if not np.isfinite(limit):
+        # For pure per-occurrence layers use the occurrence limit as the line.
+        limit = layer.terms.occurrence_limit
+    rol = rate_on_line(premium, limit) if np.isfinite(limit) and limit > 0 else float("nan")
+
+    return LayerPricing(
+        expected_loss=expected_loss,
+        volatility_load=volatility_load,
+        expense_load=expense_load,
+        technical_premium=premium,
+        rate_on_line=rol,
+        metrics=metrics,
+    )

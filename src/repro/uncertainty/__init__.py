@@ -1,0 +1,36 @@
+"""Secondary uncertainty extension.
+
+The paper's discussion (Section IV) notes: "The current financial calculations
+can be implemented using basic arithmetic operations.  However, if the system
+is extended to represent losses as a distribution (rather than a simple mean)
+then the algorithm would likely benefit from use of a numerical library for
+convolution."
+
+This subpackage implements that extension in the Monte-Carlo style that the
+aggregate analysis already uses: each ELT record carries a *distribution* of
+the event loss (mean plus coefficient of variation, realised as a Gamma or
+Lognormal distribution), and the analysis is repeated over independent
+samplings of the event losses ("replications").  The spread of the resulting
+Year Loss Tables quantifies the secondary uncertainty around every risk
+metric.
+
+* :class:`~repro.uncertainty.table.UncertainEventLossTable` — an ELT whose
+  records are distributions;
+* :class:`~repro.uncertainty.analysis.SecondaryUncertaintyAnalysis` — runs the
+  replicated aggregate analysis and summarises metric distributions.
+"""
+
+from repro.uncertainty.analysis import (
+    ReplicationSummary,
+    SecondaryUncertaintyAnalysis,
+    UncertainLayer,
+)
+from repro.uncertainty.table import LossDistributionFamily, UncertainEventLossTable
+
+__all__ = [
+    "LossDistributionFamily",
+    "UncertainEventLossTable",
+    "UncertainLayer",
+    "SecondaryUncertaintyAnalysis",
+    "ReplicationSummary",
+]

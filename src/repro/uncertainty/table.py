@@ -1,0 +1,158 @@
+"""Event Loss Tables with per-event loss distributions.
+
+A standard ELT stores the *expected* loss of each event.  Real catastrophe
+models also report the uncertainty of that loss ("secondary uncertainty"):
+given that the event occurs, the loss to the exposure set is itself a random
+variable.  :class:`UncertainEventLossTable` stores that distribution as a mean
+and a coefficient of variation per event, with a configurable distribution
+family, and can (a) collapse to a standard mean-loss ELT and (b) draw sampled
+ELTs for replicated analyses.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+import numpy as np
+
+from repro.elt.table import EventLossTable
+from repro.financial.terms import FinancialTerms
+from repro.utils.arrays import as_float_array, as_int_array
+from repro.utils.rng import RNGLike, derive_rng
+
+__all__ = ["LossDistributionFamily", "UncertainEventLossTable"]
+
+
+class LossDistributionFamily(enum.Enum):
+    """Distribution family of the per-event conditional loss."""
+
+    GAMMA = "gamma"
+    LOGNORMAL = "lognormal"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class UncertainEventLossTable:
+    """ELT whose records are loss distributions (mean, coefficient of variation).
+
+    Parameters
+    ----------
+    event_ids:
+        Event identifiers with non-zero expected loss.
+    mean_losses:
+        Expected loss per event (the value a standard ELT stores).
+    cv_losses:
+        Coefficient of variation of each event's conditional loss; zero means
+        the loss is deterministic.
+    catalog_size:
+        Size of the catalog the ids refer to.
+    family:
+        Distribution family used when sampling.
+    terms:
+        Per-ELT financial terms (as for a standard ELT).
+    name:
+        Human-readable name.
+    """
+
+    def __init__(
+        self,
+        event_ids: np.ndarray | Iterable[int],
+        mean_losses: np.ndarray | Iterable[float],
+        cv_losses: np.ndarray | Iterable[float],
+        catalog_size: int,
+        family: LossDistributionFamily = LossDistributionFamily.GAMMA,
+        terms: FinancialTerms | None = None,
+        name: str = "",
+    ) -> None:
+        self.event_ids = as_int_array(np.asarray(list(event_ids) if not isinstance(event_ids, np.ndarray) else event_ids), "event_ids")
+        self.mean_losses = as_float_array(np.asarray(list(mean_losses) if not isinstance(mean_losses, np.ndarray) else mean_losses), "mean_losses")
+        self.cv_losses = as_float_array(np.asarray(list(cv_losses) if not isinstance(cv_losses, np.ndarray) else cv_losses), "cv_losses")
+        if not (self.event_ids.shape[0] == self.mean_losses.shape[0] == self.cv_losses.shape[0]):
+            raise ValueError("event_ids, mean_losses and cv_losses must have equal length")
+        if catalog_size <= 0:
+            raise ValueError(f"catalog_size must be positive, got {catalog_size}")
+        if self.event_ids.size:
+            if self.event_ids.min() < 0 or self.event_ids.max() >= catalog_size:
+                raise ValueError("event ids must lie in [0, catalog_size)")
+            if np.unique(self.event_ids).size != self.event_ids.size:
+                raise ValueError("event ids must be unique")
+        if np.any(self.mean_losses < 0) or np.any(~np.isfinite(self.mean_losses)):
+            raise ValueError("mean_losses must be non-negative and finite")
+        if np.any(self.cv_losses < 0) or np.any(~np.isfinite(self.cv_losses)):
+            raise ValueError("cv_losses must be non-negative and finite")
+        self.catalog_size = int(catalog_size)
+        self.family = family
+        self.terms = terms if terms is not None else FinancialTerms()
+        self.name = str(name)
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of (event, distribution) records."""
+        return int(self.event_ids.shape[0])
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UncertainEventLossTable(name={self.name!r}, size={self.size}, "
+            f"family={self.family.value})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def expected_elt(self) -> EventLossTable:
+        """Collapse to a standard mean-loss ELT (drops the uncertainty)."""
+        return EventLossTable(
+            self.event_ids, self.mean_losses, self.catalog_size, self.terms, self.name
+        )
+
+    def sample_elt(self, rng: RNGLike = None) -> EventLossTable:
+        """Draw one realisation of every event's conditional loss.
+
+        Events with zero coefficient of variation keep their mean loss; zero
+        mean losses stay zero regardless of the CV.
+        """
+        generator = derive_rng(rng)
+        means = self.mean_losses
+        cvs = self.cv_losses
+        sampled = means.copy()
+        active = (cvs > 0.0) & (means > 0.0)
+        if np.any(active):
+            m = means[active]
+            cv = cvs[active]
+            if self.family is LossDistributionFamily.GAMMA:
+                shape = 1.0 / (cv * cv)
+                scale = m / shape
+                sampled[active] = generator.gamma(shape, scale)
+            elif self.family is LossDistributionFamily.LOGNORMAL:
+                sigma = np.sqrt(np.log1p(cv * cv))
+                mu = np.log(m) - 0.5 * sigma * sigma
+                sampled[active] = generator.lognormal(mu, sigma)
+            else:  # pragma: no cover - exhaustive enum
+                raise ValueError(f"unknown family {self.family}")
+        return EventLossTable(
+            self.event_ids, sampled, self.catalog_size, self.terms, self.name
+        )
+
+    @classmethod
+    def from_elt(
+        cls,
+        elt: EventLossTable,
+        cv: float | np.ndarray = 0.5,
+        family: LossDistributionFamily = LossDistributionFamily.GAMMA,
+    ) -> "UncertainEventLossTable":
+        """Wrap a mean-loss ELT with a uniform (or per-event) uncertainty level."""
+        if np.isscalar(cv):
+            cvs = np.full(elt.size, float(cv), dtype=np.float64)
+        else:
+            cvs = np.asarray(cv, dtype=np.float64)
+        return cls(
+            elt.event_ids, elt.losses, cvs, elt.catalog_size, family, elt.terms, elt.name
+        )

@@ -1,0 +1,94 @@
+"""Argument validation helpers with consistent error messages.
+
+Input validation failures in a risk engine must be loud and early: a silently
+clipped retention or a negative limit corrupts every downstream PML/TVaR
+number.  These helpers normalise the error messages across the library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_probability",
+    "ensure_in_range",
+    "ensure_finite",
+]
+
+
+def _check_number(value: Any, name: str) -> float:
+    """Coerce ``value`` to float, rejecting non-numeric input."""
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got bool")
+    if isinstance(value, (str, bytes)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from exc
+    return result
+
+
+def ensure_finite(value: Any, name: str = "value") -> float:
+    """Require ``value`` to be a finite number and return it as float."""
+    result = _check_number(value, name)
+    if math.isnan(result) or math.isinf(result):
+        raise ValueError(f"{name} must be finite, got {result}")
+    return result
+
+
+def ensure_positive(value: Any, name: str = "value", allow_inf: bool = False) -> float:
+    """Require ``value`` to be strictly positive and return it as float.
+
+    ``allow_inf=True`` accepts ``+inf``, which is the conventional encoding of
+    an "unlimited" layer limit.
+    """
+    result = _check_number(value, name)
+    if math.isnan(result):
+        raise ValueError(f"{name} must not be NaN")
+    if math.isinf(result) and not allow_inf:
+        raise ValueError(f"{name} must be finite, got {result}")
+    if result <= 0:
+        raise ValueError(f"{name} must be positive, got {result}")
+    return result
+
+
+def ensure_non_negative(value: Any, name: str = "value", allow_inf: bool = False) -> float:
+    """Require ``value`` to be >= 0 and return it as float."""
+    result = _check_number(value, name)
+    if math.isnan(result):
+        raise ValueError(f"{name} must not be NaN")
+    if math.isinf(result) and not allow_inf:
+        raise ValueError(f"{name} must be finite, got {result}")
+    if result < 0:
+        raise ValueError(f"{name} must be non-negative, got {result}")
+    return result
+
+
+def ensure_probability(value: Any, name: str = "value") -> float:
+    """Require ``value`` to lie in the closed interval [0, 1]."""
+    result = ensure_finite(value, name)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {result}")
+    return result
+
+
+def ensure_in_range(
+    value: Any,
+    low: float,
+    high: float,
+    name: str = "value",
+    inclusive: bool = True,
+) -> float:
+    """Require ``value`` to lie within [low, high] (or (low, high) if exclusive)."""
+    result = ensure_finite(value, name)
+    if inclusive:
+        if not low <= result <= high:
+            raise ValueError(f"{name} must be in [{low}, {high}], got {result}")
+    else:
+        if not low < result < high:
+            raise ValueError(f"{name} must be in ({low}, {high}), got {result}")
+    return result

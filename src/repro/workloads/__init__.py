@@ -1,0 +1,31 @@
+"""End-to-end synthetic workload generation.
+
+A *workload* bundles everything one aggregate-analysis run needs: the event
+catalog, the Year Event Table and the reinsurance program (layers over ELTs
+produced by the catastrophe model).  The generator builds all of it from a
+single seed, and :mod:`repro.workloads.presets` provides the named parameter
+sets used by the tests, examples and — scaled down proportionally — by the
+benchmarks that reproduce the paper's figures.
+"""
+
+from repro.workloads.generator import AggregateWorkload, WorkloadGenerator, WorkloadSpec
+from repro.workloads.presets import (
+    PAPER_FULL_SCALE,
+    bench_spec,
+    paper_scaled_spec,
+    preset,
+    preset_names,
+    tiny_spec,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "AggregateWorkload",
+    "WorkloadGenerator",
+    "PAPER_FULL_SCALE",
+    "preset",
+    "preset_names",
+    "tiny_spec",
+    "bench_spec",
+    "paper_scaled_spec",
+]

@@ -1,0 +1,21 @@
+"""Year Event Table (YET) substrate.
+
+The YET is "a database of pre-simulated occurrences of events from a catalog
+of stochastic events" (Section II-A).  Each record — a *trial* — is one
+alternative realisation of a contractual year: an ordered sequence of
+``(event id, timestamp)`` pairs.  Using a pre-simulated table rather than
+sampling on the fly gives every analysis a consistent view of the simulated
+years, which is why the industry distributes YETs as data artefacts.
+
+* :mod:`repro.yet.table` — the flattened CSR-style container
+  (:class:`YearEventTable`),
+* :mod:`repro.yet.simulator` — :class:`YETSimulator`, which samples trials
+  from a catalog's occurrence rates and seasonality,
+* :mod:`repro.yet.io` — a simple ``.npz`` serialization format.
+"""
+
+from repro.yet.io import load_yet, save_yet
+from repro.yet.simulator import YETSimulator
+from repro.yet.table import YearEventTable
+
+__all__ = ["YearEventTable", "YETSimulator", "save_yet", "load_yet"]

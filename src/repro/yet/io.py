@@ -1,0 +1,59 @@
+"""Serialization of Year Event Tables.
+
+YETs are large, immutable data artefacts that are generated once and reused by
+many analyses, so being able to persist and reload them matters in practice.
+The format is a single compressed ``.npz`` file holding the flat arrays plus a
+small metadata vector; it round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.yet.table import YearEventTable
+
+__all__ = ["save_yet", "load_yet"]
+
+_FORMAT_VERSION = 1
+
+
+def save_yet(yet: YearEventTable, path: str | os.PathLike) -> Path:
+    """Save a YET to ``path`` (``.npz`` appended if missing). Returns the path."""
+    target = Path(path)
+    if target.suffix != ".npz":
+        target = target.with_suffix(target.suffix + ".npz")
+    meta = np.array([_FORMAT_VERSION, yet.catalog_size, 1 if yet.timestamps is not None else 0],
+                    dtype=np.int64)
+    arrays = {
+        "meta": meta,
+        "event_ids": yet.event_ids,
+        "trial_offsets": yet.trial_offsets,
+    }
+    if yet.timestamps is not None:
+        arrays["timestamps"] = yet.timestamps
+    target.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(target, **arrays)
+    return target
+
+
+def load_yet(path: str | os.PathLike) -> YearEventTable:
+    """Load a YET previously written by :func:`save_yet`."""
+    source = Path(path)
+    if not source.exists() and source.suffix != ".npz":
+        source = source.with_suffix(source.suffix + ".npz")
+    if not source.exists():
+        raise FileNotFoundError(f"no such YET file: {path}")
+    with np.load(source) as data:
+        meta = data["meta"]
+        version = int(meta[0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported YET format version {version}")
+        catalog_size = int(meta[1])
+        has_timestamps = bool(meta[2])
+        event_ids = data["event_ids"]
+        trial_offsets = data["trial_offsets"]
+        timestamps = data["timestamps"] if has_timestamps else None
+    return YearEventTable(event_ids, trial_offsets, catalog_size, timestamps)

@@ -1,0 +1,60 @@
+"""Serialization of Year Loss Tables.
+
+A YLT is the hand-off artefact between the aggregate analysis and the
+downstream enterprise-risk-management stage (stage three of the paper's
+pipeline), so it needs a stable on-disk form.  The format is a compressed
+``.npz`` holding the loss matrix, the layer names and (optionally) the
+per-trial maximum occurrence losses; it round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.ylt.table import YearLossTable
+
+__all__ = ["save_ylt", "load_ylt"]
+
+_FORMAT_VERSION = 1
+
+
+def save_ylt(ylt: YearLossTable, path: str | os.PathLike) -> Path:
+    """Save a YLT to ``path`` (``.npz`` appended if missing). Returns the path."""
+    target = Path(path)
+    if target.suffix != ".npz":
+        target = target.with_suffix(target.suffix + ".npz")
+    meta = np.array(
+        [_FORMAT_VERSION, 1 if ylt.max_occurrence_losses is not None else 0], dtype=np.int64
+    )
+    arrays = {
+        "meta": meta,
+        "losses": ylt.losses,
+        "layer_names": np.array(ylt.layer_names, dtype=np.str_),
+    }
+    if ylt.max_occurrence_losses is not None:
+        arrays["max_occurrence_losses"] = ylt.max_occurrence_losses
+    target.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(target, **arrays)
+    return target
+
+
+def load_ylt(path: str | os.PathLike) -> YearLossTable:
+    """Load a YLT previously written by :func:`save_ylt`."""
+    source = Path(path)
+    if not source.exists() and source.suffix != ".npz":
+        source = source.with_suffix(source.suffix + ".npz")
+    if not source.exists():
+        raise FileNotFoundError(f"no such YLT file: {path}")
+    with np.load(source) as data:
+        meta = data["meta"]
+        version = int(meta[0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported YLT format version {version}")
+        has_occurrence = bool(meta[1])
+        losses = data["losses"]
+        layer_names = [str(name) for name in data["layer_names"]]
+        occurrence = data["max_occurrence_losses"] if has_occurrence else None
+    return YearLossTable(losses, layer_names, occurrence)

@@ -1,0 +1,156 @@
+"""Portfolio risk metrics derived from Year Loss Tables.
+
+These are the "filters (financial functions) ... applied on the aggregate loss
+values" of Section II-C and the metrics named in the paper's introduction:
+
+* **AAL** — average annual loss, the mean of the year losses;
+* **PML** — probable maximum loss at a return period ``R``: the year-loss
+  quantile exceeded with probability ``1/R``;
+* **TVaR** — tail value at risk at probability level ``p``: the expected year
+  loss conditional on being in the worst ``(1-p)`` fraction of years;
+* standard deviation and selected quantiles as supporting statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive, ensure_probability
+from repro.ylt.ep_curve import EPCurve, aep_curve
+from repro.ylt.table import YearLossTable
+
+__all__ = ["aal", "pml", "tvar", "value_at_risk", "RiskMetrics", "compute_risk_metrics",
+           "DEFAULT_RETURN_PERIODS", "DEFAULT_TVAR_LEVELS"]
+
+#: Return periods (years) reported by default: the levels regulators and
+#: rating agencies most commonly request.
+DEFAULT_RETURN_PERIODS: tuple[float, ...] = (5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0)
+
+#: TVaR probability levels reported by default.
+DEFAULT_TVAR_LEVELS: tuple[float, ...] = (0.95, 0.99, 0.996)
+
+
+def aal(year_losses: np.ndarray) -> float:
+    """Average annual loss: the mean of the per-trial year losses."""
+    values = np.asarray(year_losses, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot compute AAL of zero trials")
+    return float(values.mean())
+
+
+def value_at_risk(year_losses: np.ndarray, probability: float) -> float:
+    """Value at Risk: the ``probability`` quantile of the year-loss distribution."""
+    values = np.asarray(year_losses, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot compute VaR of zero trials")
+    ensure_probability(probability, "probability")
+    return float(np.quantile(values, probability))
+
+
+def pml(year_losses: np.ndarray, return_period_years: float) -> float:
+    """Probable Maximum Loss at a return period.
+
+    The PML at return period ``R`` is the loss exceeded on average once every
+    ``R`` years, i.e. the ``1 - 1/R`` quantile of the year-loss distribution.
+    """
+    ensure_positive(return_period_years, "return_period_years")
+    if return_period_years < 1.0:
+        raise ValueError(
+            f"return period must be at least 1 year, got {return_period_years}"
+        )
+    return value_at_risk(year_losses, 1.0 - 1.0 / return_period_years)
+
+
+def tvar(year_losses: np.ndarray, probability: float) -> float:
+    """Tail Value at Risk at probability level ``probability``.
+
+    The expected year loss conditional on the loss being at or above the
+    ``probability`` quantile.  With an empirical distribution the conditional
+    mean is taken over the trials at or above the quantile (at least one trial
+    by construction).
+    """
+    values = np.asarray(year_losses, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot compute TVaR of zero trials")
+    ensure_probability(probability, "probability")
+    threshold = np.quantile(values, probability)
+    tail = values[values >= threshold]
+    if tail.size == 0:  # pragma: no cover - cannot happen with >=
+        return float(threshold)
+    return float(tail.mean())
+
+
+@dataclass(frozen=True)
+class RiskMetrics:
+    """Summary risk metrics of one year-loss distribution.
+
+    Attributes
+    ----------
+    aal:
+        Average annual loss.
+    std:
+        Standard deviation of the year losses.
+    pml:
+        Mapping of return period (years) to PML.
+    tvar:
+        Mapping of probability level to TVaR.
+    max_loss:
+        Largest simulated year loss.
+    n_trials:
+        Number of trials the metrics were computed from.
+    """
+
+    aal: float
+    std: float
+    pml: Mapping[float, float] = field(default_factory=dict)
+    tvar: Mapping[float, float] = field(default_factory=dict)
+    max_loss: float = 0.0
+    n_trials: int = 0
+
+    def pml_at(self, return_period: float) -> float:
+        """PML at one of the computed return periods (KeyError otherwise)."""
+        return self.pml[return_period]
+
+    def tvar_at(self, level: float) -> float:
+        """TVaR at one of the computed probability levels (KeyError otherwise)."""
+        return self.tvar[level]
+
+
+def compute_risk_metrics(
+    year_losses: np.ndarray,
+    return_periods: Sequence[float] = DEFAULT_RETURN_PERIODS,
+    tvar_levels: Sequence[float] = DEFAULT_TVAR_LEVELS,
+) -> RiskMetrics:
+    """Compute the standard metric set from a year-loss vector."""
+    values = np.asarray(year_losses, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot compute metrics of zero trials")
+    pml_values = {float(rp): pml(values, rp) for rp in return_periods}
+    tvar_values = {float(level): tvar(values, level) for level in tvar_levels}
+    return RiskMetrics(
+        aal=aal(values),
+        std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        pml=pml_values,
+        tvar=tvar_values,
+        max_loss=float(values.max()),
+        n_trials=int(values.size),
+    )
+
+
+def layer_metrics(ylt: YearLossTable,
+                  return_periods: Sequence[float] = DEFAULT_RETURN_PERIODS,
+                  tvar_levels: Sequence[float] = DEFAULT_TVAR_LEVELS,
+                  ) -> dict[str, RiskMetrics]:
+    """Per-layer metrics for every layer of a YLT."""
+    return {
+        name: compute_risk_metrics(losses, return_periods, tvar_levels)
+        for name, losses in ylt.iter_layers()
+    }
+
+
+def portfolio_ep_curve(ylt: YearLossTable, max_points: int | None = None) -> EPCurve:
+    """AEP curve of the whole portfolio (sum of layers per trial)."""
+    return aep_curve(ylt.portfolio_losses(), max_points)

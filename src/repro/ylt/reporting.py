@@ -1,0 +1,65 @@
+"""Formatted risk reports.
+
+Plain-text report formatting for the metrics and EP curves; these are what the
+examples print and what an underwriter would glance at during the real-time
+pricing conversation described in Section IV.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.ylt.ep_curve import EPCurve
+from repro.ylt.metrics import RiskMetrics
+
+__all__ = ["format_metrics_report", "format_ep_table", "format_layer_comparison"]
+
+
+def _money(value: float) -> str:
+    """Format a currency amount with thousands separators."""
+    return f"{value:,.0f}"
+
+
+def format_metrics_report(metrics: RiskMetrics, title: str = "Risk metrics") -> str:
+    """Multi-line report of one layer's (or the portfolio's) risk metrics."""
+    lines = [title, "=" * len(title)]
+    lines.append(f"trials analysed      : {metrics.n_trials:,}")
+    lines.append(f"average annual loss  : {_money(metrics.aal)}")
+    lines.append(f"std of annual loss   : {_money(metrics.std)}")
+    lines.append(f"maximum annual loss  : {_money(metrics.max_loss)}")
+    if metrics.pml:
+        lines.append("PML by return period :")
+        for return_period in sorted(metrics.pml):
+            lines.append(f"  {return_period:>7.0f} yr : {_money(metrics.pml[return_period])}")
+    if metrics.tvar:
+        lines.append("TVaR by level        :")
+        for level in sorted(metrics.tvar):
+            lines.append(f"  {level:>7.1%} : {_money(metrics.tvar[level])}")
+    return "\n".join(lines)
+
+
+def format_ep_table(curve: EPCurve, return_periods: Sequence[float] = (10, 25, 50, 100, 250)) -> str:
+    """Fixed-width table of losses at selected return periods."""
+    header = f"{curve.kind} curve"
+    lines = [header, "-" * len(header), f"{'return period':>15}{'loss':>20}"]
+    for return_period in return_periods:
+        loss = curve.loss_at_return_period(float(return_period))
+        lines.append(f"{return_period:>13.0f}yr{_money(loss):>20}")
+    return "\n".join(lines)
+
+
+def format_layer_comparison(metrics_by_name: Mapping[str, RiskMetrics],
+                            return_period: float = 100.0) -> str:
+    """Side-by-side comparison of layers: AAL and PML at one return period.
+
+    This is the view an underwriter uses to compare alternative contract
+    structures during pricing.
+    """
+    name_width = max((len(name) for name in metrics_by_name), default=10)
+    name_width = max(name_width, len("layer"))
+    lines = [f"{'layer':<{name_width}}{'AAL':>18}{f'PML {return_period:.0f}yr':>18}"]
+    for name, metrics in metrics_by_name.items():
+        pml_value = metrics.pml.get(return_period)
+        pml_text = _money(pml_value) if pml_value is not None else "n/a"
+        lines.append(f"{name:<{name_width}}{_money(metrics.aal):>18}{pml_text:>18}")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Tests for repro.catalog.events."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.events import Event, EventCatalog
+from repro.catalog.peril import Peril
+
+
+def build_catalog(n: int = 10) -> EventCatalog:
+    events = [
+        Event(event_id=i, peril=Peril.HURRICANE if i % 2 == 0 else Peril.FLOOD,
+              annual_rate=0.1 * (i + 1), mean_severity=1e6 * (i + 1),
+              intensity=0.1 * i, region=i % 3)
+        for i in range(n)
+    ]
+    return EventCatalog.from_events(events)
+
+
+class TestEvent:
+    def test_valid_event(self):
+        event = Event(0, Peril.FLOOD, 0.5, 1e6, 0.3, region=2)
+        assert event.region == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(event_id=-1, peril=Peril.FLOOD, annual_rate=0.5, mean_severity=1e6, intensity=0.3),
+        dict(event_id=0, peril=Peril.FLOOD, annual_rate=0.0, mean_severity=1e6, intensity=0.3),
+        dict(event_id=0, peril=Peril.FLOOD, annual_rate=0.5, mean_severity=-1.0, intensity=0.3),
+        dict(event_id=0, peril=Peril.FLOOD, annual_rate=0.5, mean_severity=1e6, intensity=-0.1),
+        dict(event_id=0, peril=Peril.FLOOD, annual_rate=0.5, mean_severity=1e6, intensity=0.3, region=-1),
+    ])
+    def test_invalid_event_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Event(**kwargs)
+
+
+class TestEventCatalog:
+    def test_size_and_roundtrip(self):
+        catalog = build_catalog(10)
+        assert catalog.size == len(catalog) == 10
+        event = catalog[3]
+        assert event.event_id == 3
+        assert event.peril is Peril.FLOOD
+        assert event.annual_rate == pytest.approx(0.4)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            _ = build_catalog(5)[5]
+
+    def test_iteration_yields_all_events(self):
+        catalog = build_catalog(6)
+        assert [e.event_id for e in catalog] == list(range(6))
+
+    def test_total_annual_rate(self):
+        catalog = build_catalog(4)
+        assert catalog.total_annual_rate == pytest.approx(0.1 + 0.2 + 0.3 + 0.4)
+
+    def test_occurrence_probabilities_sum_to_one(self):
+        catalog = build_catalog(10)
+        assert catalog.occurrence_probabilities().sum() == pytest.approx(1.0)
+
+    def test_peril_mask_and_events(self):
+        catalog = build_catalog(10)
+        hurricane_ids = catalog.events_for_peril(Peril.HURRICANE)
+        assert all(i % 2 == 0 for i in hurricane_ids)
+        assert catalog.peril_mask(Peril.HURRICANE).sum() == 5
+
+    def test_events_for_region(self):
+        catalog = build_catalog(9)
+        region_ids = catalog.events_for_region(1)
+        assert all(i % 3 == 1 for i in region_ids)
+
+    def test_peril_summary_counts(self):
+        summary = build_catalog(10).peril_summary()
+        assert summary[Peril.HURRICANE]["count"] == 5
+        assert summary[Peril.FLOOD]["count"] == 5
+
+    def test_from_events_requires_dense_ids(self):
+        events = [Event(0, Peril.FLOOD, 0.1, 1.0, 0.1), Event(2, Peril.FLOOD, 0.1, 1.0, 0.1)]
+        with pytest.raises(ValueError):
+            EventCatalog.from_events(events)
+
+    def test_subset_reindexes(self):
+        catalog = build_catalog(10)
+        subset = catalog.subset(np.array([2, 5, 7]))
+        assert subset.size == 3
+        assert subset[0].annual_rate == pytest.approx(0.3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            EventCatalog(
+                perils=np.zeros(3, dtype=np.int16),
+                annual_rates=np.ones(2),
+                mean_severities=np.ones(3),
+                intensities=np.ones(3),
+            )
+
+    def test_non_positive_rates_rejected(self):
+        with pytest.raises(ValueError):
+            EventCatalog(
+                perils=np.zeros(2, dtype=np.int16),
+                annual_rates=np.array([1.0, 0.0]),
+                mean_severities=np.ones(2),
+                intensities=np.ones(2),
+            )

@@ -1,0 +1,83 @@
+"""Tests for repro.catalog.generator."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.generator import CatalogGenerator, PerilMix
+from repro.catalog.peril import Peril
+
+
+class TestPerilMix:
+    def test_normalised_sums_to_one(self):
+        mix = PerilMix({Peril.HURRICANE: 2.0, Peril.FLOOD: 2.0})
+        shares = mix.normalised()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[Peril.HURRICANE] == pytest.approx(0.5)
+
+    def test_counts_sum_exactly(self):
+        mix = PerilMix({Peril.HURRICANE: 1.0, Peril.FLOOD: 1.0, Peril.TORNADO: 1.0})
+        counts = mix.counts(100)
+        assert sum(counts.values()) == 100
+
+    def test_counts_largest_remainder(self):
+        mix = PerilMix({Peril.HURRICANE: 1.0, Peril.FLOOD: 1.0, Peril.TORNADO: 1.0})
+        counts = mix.counts(7)
+        assert sum(counts.values()) == 7
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            PerilMix({})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            PerilMix({Peril.FLOOD: -1.0})
+
+    def test_non_peril_key_rejected(self):
+        with pytest.raises(TypeError):
+            PerilMix({"flood": 1.0})  # type: ignore[dict-item]
+
+
+class TestCatalogGenerator:
+    def test_catalog_size(self):
+        catalog = CatalogGenerator(n_regions=4).generate(1000, rng=1)
+        assert catalog.size == 1000
+
+    def test_deterministic_with_seed(self):
+        gen = CatalogGenerator(n_regions=4)
+        a = gen.generate(500, rng=42)
+        b = gen.generate(500, rng=42)
+        np.testing.assert_array_equal(a.annual_rates, b.annual_rates)
+        np.testing.assert_array_equal(a.mean_severities, b.mean_severities)
+
+    def test_total_rate_matches_profiles(self):
+        gen = CatalogGenerator(n_regions=4)
+        catalog = gen.generate(2000, rng=2)
+        expected = sum(p.annual_rate for p in gen.profiles.values())
+        assert catalog.total_annual_rate == pytest.approx(expected, rel=1e-9)
+
+    def test_generate_with_rate_rescales(self):
+        catalog = CatalogGenerator(n_regions=4).generate_with_rate(1000, events_per_year=250.0, rng=3)
+        assert catalog.total_annual_rate == pytest.approx(250.0, rel=1e-9)
+
+    def test_regions_within_bounds(self):
+        catalog = CatalogGenerator(n_regions=6).generate(500, rng=4)
+        assert catalog.regions.min() >= 0
+        assert catalog.regions.max() < 6
+
+    def test_all_perils_present_in_large_catalog(self):
+        catalog = CatalogGenerator(n_regions=4).generate(600, rng=5)
+        present = {p for p, info in catalog.peril_summary().items() if info["count"] > 0}
+        assert present == set(Peril)
+
+    def test_intensities_non_negative(self):
+        catalog = CatalogGenerator(n_regions=4).generate(300, rng=6)
+        assert (catalog.intensities >= 0).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CatalogGenerator(n_regions=0)
+        with pytest.raises(ValueError):
+            CatalogGenerator(rate_shape=0.0)
+        with pytest.raises(ValueError):
+            CatalogGenerator().generate(0)

@@ -1,0 +1,45 @@
+"""Tests for repro.catalog.peril."""
+
+import pytest
+
+from repro.catalog.peril import Peril, PerilProfile, default_peril_profiles
+
+
+class TestPerilProfile:
+    def test_valid_profile(self):
+        profile = PerilProfile(Peril.HURRICANE, annual_rate=3.0, severity_mean=1e9,
+                               severity_cv=2.0, season_peak=0.7, season_concentration=10.0)
+        assert profile.peril is Peril.HURRICANE
+
+    @pytest.mark.parametrize("field,value", [
+        ("annual_rate", 0.0),
+        ("severity_mean", -1.0),
+        ("severity_cv", 0.0),
+        ("season_peak", 1.5),
+        ("season_concentration", -1.0),
+    ])
+    def test_invalid_parameters_rejected(self, field, value):
+        kwargs = dict(peril=Peril.FLOOD, annual_rate=1.0, severity_mean=1e8,
+                      severity_cv=1.0, season_peak=0.5, season_concentration=0.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            PerilProfile(**kwargs)
+
+
+class TestDefaultProfiles:
+    def test_covers_every_peril(self):
+        profiles = default_peril_profiles()
+        assert set(profiles) == set(Peril)
+
+    def test_profiles_keyed_consistently(self):
+        profiles = default_peril_profiles()
+        for peril, profile in profiles.items():
+            assert profile.peril is peril
+
+    def test_earthquake_more_severe_than_tornado(self):
+        profiles = default_peril_profiles()
+        assert profiles[Peril.EARTHQUAKE].severity_mean > profiles[Peril.TORNADO].severity_mean
+
+    def test_tornado_more_frequent_than_earthquake(self):
+        profiles = default_peril_profiles()
+        assert profiles[Peril.TORNADO].annual_rate > profiles[Peril.EARTHQUAKE].annual_rate

@@ -1,0 +1,82 @@
+"""Tests for repro.catalog.severity."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.severity import (
+    GammaSeverity,
+    LognormalSeverity,
+    ParetoSeverity,
+    severity_for_peril,
+)
+
+
+class TestLognormalSeverity:
+    def test_sample_mean_matches(self):
+        model = LognormalSeverity(mean_loss=1e6, cv_loss=1.0)
+        samples = model.sample(100_000, rng=1)
+        assert samples.mean() == pytest.approx(1e6, rel=0.05)
+
+    def test_sample_cv_matches(self):
+        model = LognormalSeverity(mean_loss=1e6, cv_loss=0.8)
+        samples = model.sample(200_000, rng=2)
+        assert samples.std() / samples.mean() == pytest.approx(0.8, rel=0.1)
+
+    def test_samples_positive(self):
+        samples = LognormalSeverity(1e5, 2.0).sample(1000, rng=3)
+        assert (samples > 0).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LognormalSeverity(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LognormalSeverity(1.0, 0.0)
+
+
+class TestParetoSeverity:
+    def test_mean_formula(self):
+        model = ParetoSeverity(x_min=100.0, alpha=3.0)
+        assert model.mean == pytest.approx(150.0)
+
+    def test_from_mean_cv_roundtrip(self):
+        model = ParetoSeverity.from_mean_cv(mean=1e6, cv=0.5)
+        assert model.mean == pytest.approx(1e6, rel=1e-9)
+        assert model.cv == pytest.approx(0.5, rel=1e-9)
+
+    def test_sample_mean(self):
+        model = ParetoSeverity.from_mean_cv(1e5, 0.4)
+        samples = model.sample(200_000, rng=4)
+        assert samples.mean() == pytest.approx(1e5, rel=0.05)
+
+    def test_samples_above_xmin(self):
+        model = ParetoSeverity(x_min=50.0, alpha=4.0)
+        assert (model.sample(1000, rng=5) >= 50.0).all()
+
+    def test_alpha_must_exceed_two(self):
+        with pytest.raises(ValueError):
+            ParetoSeverity(x_min=1.0, alpha=2.0)
+
+
+class TestGammaSeverity:
+    def test_shape_scale_derivation(self):
+        model = GammaSeverity(mean_loss=1000.0, cv_loss=0.5)
+        assert model.shape == pytest.approx(4.0)
+        assert model.scale == pytest.approx(250.0)
+
+    def test_sample_moments(self):
+        model = GammaSeverity(mean_loss=2000.0, cv_loss=0.7)
+        samples = model.sample(200_000, rng=6)
+        assert samples.mean() == pytest.approx(2000.0, rel=0.03)
+        assert samples.std() / samples.mean() == pytest.approx(0.7, rel=0.05)
+
+    def test_std_property(self):
+        model = GammaSeverity(1000.0, 0.5)
+        assert model.std == pytest.approx(500.0)
+
+
+class TestSeverityForPeril:
+    def test_heavy_tailed_selects_lognormal(self):
+        assert isinstance(severity_for_peril(1e6, 2.0, heavy_tailed=True), LognormalSeverity)
+
+    def test_light_tailed_selects_gamma(self):
+        assert isinstance(severity_for_peril(1e6, 0.5, heavy_tailed=False), GammaSeverity)

@@ -1,0 +1,90 @@
+"""Tests for the AggregateRiskEngine facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunked import ChunkedEngine
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine, available_backends
+from repro.core.gpu_sim import GPUSimulatedEngine
+from repro.core.multicore import MulticoreEngine
+from repro.core.sequential import SequentialEngine
+from repro.core.vectorized import VectorizedEngine
+from repro.ylt.table import YearLossTable
+
+
+class TestFacade:
+    def test_available_backends(self):
+        assert set(available_backends()) == {"sequential", "vectorized", "chunked", "multicore", "gpu"}
+
+    @pytest.mark.parametrize("backend,backend_cls", [
+        ("sequential", SequentialEngine),
+        ("vectorized", VectorizedEngine),
+        ("chunked", ChunkedEngine),
+        ("multicore", MulticoreEngine),
+        ("gpu", GPUSimulatedEngine),
+    ])
+    def test_backend_selection(self, backend, backend_cls):
+        engine = AggregateRiskEngine(EngineConfig(backend=backend))
+        assert engine.backend_name == backend
+        assert isinstance(engine._backend, backend_cls)
+
+    def test_default_backend_vectorized(self):
+        assert AggregateRiskEngine().backend_name == "vectorized"
+
+    def test_run_returns_result(self, tiny_workload):
+        result = AggregateRiskEngine().run(tiny_workload.program, tiny_workload.yet)
+        assert result.ylt.n_trials == tiny_workload.yet.n_trials
+        assert "backend=vectorized" in result.summary()
+
+    def test_year_loss_table_shortcut(self, tiny_workload):
+        ylt = AggregateRiskEngine().year_loss_table(tiny_workload.program, tiny_workload.yet)
+        assert isinstance(ylt, YearLossTable)
+
+    def test_trials_per_second_positive(self, tiny_workload):
+        result = AggregateRiskEngine().run(tiny_workload.program, tiny_workload.yet)
+        assert result.trials_per_second > 0
+
+
+class TestCompareBackends:
+    def test_agreeing_backends_pass(self, tiny_workload):
+        results = AggregateRiskEngine.compare_backends(
+            tiny_workload.program,
+            tiny_workload.yet,
+            backends=("sequential", "vectorized", "chunked", "gpu"),
+        )
+        assert set(results) == {"sequential", "vectorized", "chunked", "gpu"}
+
+    def test_results_actually_agree(self, tiny_workload):
+        results = AggregateRiskEngine.compare_backends(
+            tiny_workload.program, tiny_workload.yet, backends=("sequential", "vectorized")
+        )
+        np.testing.assert_allclose(
+            results["sequential"].ylt.losses, results["vectorized"].ylt.losses, rtol=1e-9
+        )
+
+    def test_custom_base_config(self, tiny_workload):
+        results = AggregateRiskEngine.compare_backends(
+            tiny_workload.program,
+            tiny_workload.yet,
+            backends=("vectorized", "chunked"),
+            base_config=EngineConfig(record_max_occurrence=False),
+        )
+        assert results["vectorized"].ylt.max_occurrence_losses is None
+
+    def test_disagreement_detected(self, tiny_workload, monkeypatch):
+        # Force the chunked backend to produce corrupted results and make sure
+        # the comparison catches it.
+        from repro.core import chunked as chunked_module
+
+        original = chunked_module.layer_trial_losses_chunked
+
+        def corrupted(*args, **kwargs):
+            year, occ = original(*args, **kwargs)
+            return year * 1.5, occ
+
+        monkeypatch.setattr(chunked_module, "layer_trial_losses_chunked", corrupted)
+        with pytest.raises(AssertionError, match="disagrees"):
+            AggregateRiskEngine.compare_backends(
+                tiny_workload.program, tiny_workload.yet, backends=("vectorized", "chunked")
+            )

@@ -1,0 +1,75 @@
+"""Tests for the simulated-GPU backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.gpu_sim import GPUSimulatedEngine
+from repro.parallel.device import WorkloadShape
+
+
+class TestGPUSimulatedEngine:
+    def test_matches_sequential_reference(self, tiny_workload, tiny_reference_result):
+        engine = GPUSimulatedEngine(EngineConfig(backend="gpu", threads_per_block=16))
+        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        np.testing.assert_allclose(
+            result.ylt.losses, tiny_reference_result.ylt.losses, rtol=1e-9, atol=1e-6
+        )
+
+    def test_basic_kernel_matches_reference(self, tiny_workload, tiny_reference_result):
+        engine = GPUSimulatedEngine(EngineConfig(backend="gpu", gpu_optimised=False,
+                                                 threads_per_block=16))
+        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        np.testing.assert_allclose(
+            result.ylt.losses, tiny_reference_result.ylt.losses, rtol=1e-9, atol=1e-6
+        )
+
+    def test_threads_per_block_does_not_change_results(self, tiny_workload):
+        results = []
+        for threads in (8, 16, 64):
+            engine = GPUSimulatedEngine(EngineConfig(backend="gpu", threads_per_block=threads))
+            results.append(engine.run(tiny_workload.program, tiny_workload.yet).ylt.losses)
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-12)
+        np.testing.assert_allclose(results[0], results[2], rtol=1e-12)
+
+    def test_chunk_size_does_not_change_results(self, tiny_workload):
+        results = []
+        for chunk in (1, 4, 12):
+            engine = GPUSimulatedEngine(EngineConfig(backend="gpu", gpu_chunk_size=chunk,
+                                                     threads_per_block=16))
+            results.append(engine.run(tiny_workload.program, tiny_workload.yet).ylt.losses)
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-12)
+        np.testing.assert_allclose(results[0], results[2], rtol=1e-12)
+
+    def test_modeled_estimates_attached(self, tiny_workload):
+        engine = GPUSimulatedEngine(EngineConfig(backend="gpu", threads_per_block=16))
+        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        assert len(result.modeled) == tiny_workload.program.n_layers
+        assert result.modeled_seconds == pytest.approx(
+            sum(est.seconds for est in result.modeled)
+        )
+        assert result.modeled_seconds > 0
+
+    def test_details_describe_launch(self, tiny_workload):
+        engine = GPUSimulatedEngine(EngineConfig(backend="gpu", threads_per_block=32,
+                                                 gpu_chunk_size=8, gpu_optimised=True))
+        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        assert result.details["threads_per_block"] == 32
+        assert result.details["chunk_size"] == 8
+        assert result.details["optimised"] is True
+
+    def test_estimate_only(self):
+        engine = GPUSimulatedEngine(EngineConfig(backend="gpu"))
+        shape = WorkloadShape(100_000, 1000.0, 15, 1)
+        estimate = engine.estimate_only(shape)
+        assert estimate.seconds > 0
+
+    def test_optimised_faster_than_basic_in_model(self, tiny_workload):
+        shape = WorkloadShape(1_000_000, 1000.0, 15, 1)
+        optimised = GPUSimulatedEngine(
+            EngineConfig(backend="gpu", gpu_optimised=True, gpu_chunk_size=4, threads_per_block=64)
+        ).estimate_only(shape)
+        basic = GPUSimulatedEngine(
+            EngineConfig(backend="gpu", gpu_optimised=False, threads_per_block=256)
+        ).estimate_only(shape)
+        assert basic.seconds > optimised.seconds

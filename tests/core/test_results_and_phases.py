@@ -1,0 +1,70 @@
+"""Tests for repro.core.results and repro.core.phases."""
+
+import numpy as np
+import pytest
+
+from repro.core.phases import ALL_PHASES, empty_breakdown, new_phase_timer
+from repro.core.results import EngineResult
+from repro.parallel.device import WorkloadShape
+from repro.utils.timing import TimingBreakdown
+from repro.ylt.table import YearLossTable
+
+
+def make_result(wall_seconds: float = 2.0) -> EngineResult:
+    ylt = YearLossTable(np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]), ["a", "b"])
+    return EngineResult(
+        ylt=ylt,
+        backend="vectorized",
+        wall_seconds=wall_seconds,
+        workload_shape=WorkloadShape(n_trials=3, events_per_trial=10.0, n_elts=2, n_layers=2),
+        phase_breakdown=TimingBreakdown({"elt_lookup": 1.5, "layer_terms": 0.5}),
+    )
+
+
+class TestEngineResult:
+    def test_shape_accessors(self):
+        result = make_result()
+        assert result.n_trials == 3
+        assert result.n_layers == 2
+
+    def test_trials_per_second(self):
+        result = make_result(wall_seconds=2.0)
+        assert result.trials_per_second == pytest.approx(3 * 2 / 2.0)
+
+    def test_trials_per_second_zero_time(self):
+        assert make_result(wall_seconds=0.0).trials_per_second == float("inf")
+
+    def test_summary_mentions_backend_and_counts(self):
+        text = make_result().summary()
+        assert "backend=vectorized" in text
+        assert "trials=3" in text
+
+    def test_summary_includes_modeled_when_present(self):
+        result = EngineResult(
+            ylt=YearLossTable(np.zeros((1, 2))),
+            backend="gpu",
+            wall_seconds=1.0,
+            workload_shape=WorkloadShape(2, 1.0, 1, 1),
+            modeled_seconds=0.5,
+        )
+        assert "modeled=0.500s" in result.summary()
+
+
+class TestPhases:
+    def test_all_phases_order(self):
+        assert ALL_PHASES == ("event_fetch", "elt_lookup", "financial_terms", "layer_terms")
+
+    def test_empty_breakdown_has_all_phases(self):
+        breakdown = empty_breakdown()
+        assert set(breakdown.seconds) == set(ALL_PHASES)
+        assert breakdown.total == 0.0
+
+    def test_new_phase_timer_respects_enabled_flag(self):
+        enabled = new_phase_timer(True)
+        disabled = new_phase_timer(False)
+        with enabled.phase("x"):
+            pass
+        with disabled.phase("x"):
+            pass
+        assert enabled.count("x") == 1
+        assert disabled.count("x") == 0

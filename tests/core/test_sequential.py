@@ -1,0 +1,124 @@
+"""Tests for the sequential reference backend (hand-checked results)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.phases import ALL_PHASES
+from repro.core.sequential import SequentialEngine, build_lookup
+from repro.elt.direct_access import DirectAccessTable
+from repro.elt.hashed_table import HashedEventLossTable
+from repro.elt.sorted_table import SortedEventLossTable
+from repro.elt.table import EventLossTable
+from repro.financial.terms import FinancialTerms, LayerTerms
+from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
+from repro.yet.table import YearEventTable
+
+from tests.conftest import make_manual_layer
+
+
+class TestBuildLookup:
+    def test_representations(self):
+        elt = EventLossTable(np.array([1]), np.array([2.0]), catalog_size=10)
+        assert isinstance(build_lookup(elt, "direct"), DirectAccessTable)
+        assert isinstance(build_lookup(elt, "sorted"), SortedEventLossTable)
+        assert isinstance(build_lookup(elt, "hashed"), HashedEventLossTable)
+
+    def test_unknown_representation(self):
+        elt = EventLossTable(np.array([1]), np.array([2.0]), catalog_size=10)
+        with pytest.raises(ValueError):
+            build_lookup(elt, "btree")
+
+
+class TestHandComputedResults:
+    def test_passthrough_terms_sum_ground_up(self, manual_layer_and_yet):
+        layer, yet = manual_layer_and_yet
+        result = SequentialEngine(EngineConfig(backend="sequential")).run(layer, yet)
+        # Trial 0: events 1, 2 -> (100) + (200 + 50) = 350
+        # Trial 1: event 4 -> 500
+        # Trial 2: events 3, 2, 1 -> 300 + 250 + 100 = 650
+        np.testing.assert_allclose(result.ylt.losses[0], [350.0, 500.0, 650.0])
+
+    def test_occurrence_terms_hand_example(self):
+        layer, yet = make_manual_layer()
+        layer = layer.with_terms(LayerTerms(occurrence_retention=100.0, occurrence_limit=200.0))
+        result = SequentialEngine().run(layer, yet)
+        # Trial 0: occurrences 100, 250 -> net 0, 150 -> 150
+        # Trial 1: occurrence 500 -> net 200
+        # Trial 2: occurrences 300, 250, 100 -> net 200, 150, 0 -> 350
+        np.testing.assert_allclose(result.ylt.losses[0], [150.0, 200.0, 350.0])
+
+    def test_aggregate_terms_hand_example(self):
+        layer, yet = make_manual_layer()
+        layer = layer.with_terms(LayerTerms(aggregate_retention=100.0, aggregate_limit=400.0))
+        result = SequentialEngine().run(layer, yet)
+        # Ground-up trial totals: 350, 500, 650 -> net of AggR=100/AggL=400:
+        # 250, 400, 400
+        np.testing.assert_allclose(result.ylt.losses[0], [250.0, 400.0, 400.0])
+
+    def test_elt_financial_terms_hand_example(self):
+        elt_a = EventLossTable(np.array([1]), np.array([100.0]), catalog_size=10,
+                               terms=FinancialTerms(retention=20.0, share=0.5))
+        elt_b = EventLossTable(np.array([1]), np.array([60.0]), catalog_size=10,
+                               terms=FinancialTerms(limit=50.0))
+        layer = Layer([elt_a, elt_b], LayerTerms())
+        yet = YearEventTable.from_trials([[1]], catalog_size=10)
+        result = SequentialEngine().run(layer, yet)
+        # ELT A: (100 - 20) * 0.5 = 40; ELT B: min(60, 50) = 50 -> 90.
+        np.testing.assert_allclose(result.ylt.losses[0], [90.0])
+
+    def test_max_occurrence_recorded(self, manual_layer_and_yet):
+        layer, yet = manual_layer_and_yet
+        result = SequentialEngine(EngineConfig(backend="sequential",
+                                               record_max_occurrence=True)).run(layer, yet)
+        np.testing.assert_allclose(result.ylt.max_occurrence_losses[0], [250.0, 500.0, 300.0])
+
+    def test_empty_trial_zero_loss(self):
+        layer, _ = make_manual_layer()
+        yet = YearEventTable.from_trials([[], [1]], catalog_size=100)
+        result = SequentialEngine().run(layer, yet)
+        assert result.ylt.losses[0, 0] == 0.0
+        assert result.ylt.losses[0, 1] == pytest.approx(100.0)
+
+
+class TestEngineBehaviour:
+    def test_accepts_program_and_layer(self, manual_program):
+        program, yet = manual_program
+        result = SequentialEngine().run(program, yet)
+        assert result.ylt.n_layers == 1
+        assert result.ylt.layer_names == ("manual-layer",)
+
+    def test_all_representations_agree(self, tiny_workload):
+        results = {}
+        for representation in ("direct", "sorted", "hashed"):
+            engine = SequentialEngine(
+                EngineConfig(backend="sequential", elt_representation=representation)
+            )
+            results[representation] = engine.run(tiny_workload.program, tiny_workload.yet)
+        np.testing.assert_allclose(
+            results["direct"].ylt.losses, results["sorted"].ylt.losses, rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            results["direct"].ylt.losses, results["hashed"].ylt.losses, rtol=1e-12
+        )
+
+    def test_phase_breakdown_recorded(self, manual_program):
+        program, yet = manual_program
+        engine = SequentialEngine(EngineConfig(backend="sequential", record_phases=True))
+        result = engine.run(program, yet)
+        assert result.phase_breakdown is not None
+        assert set(result.phase_breakdown.seconds) == set(ALL_PHASES)
+
+    def test_phase_breakdown_absent_by_default(self, manual_program):
+        program, yet = manual_program
+        result = SequentialEngine().run(program, yet)
+        assert result.phase_breakdown is None
+
+    def test_result_metadata(self, manual_program):
+        program, yet = manual_program
+        result = SequentialEngine().run(program, yet)
+        assert result.backend == "sequential"
+        assert result.n_trials == 3
+        assert result.wall_seconds > 0
+        assert result.workload_shape.n_trials == 3

@@ -1,0 +1,147 @@
+"""Tests for the secondary-uncertainty extension (repro.uncertainty)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.financial.terms import FinancialTerms, LayerTerms
+from repro.uncertainty.analysis import ReplicationSummary, SecondaryUncertaintyAnalysis, UncertainLayer
+from repro.uncertainty.table import LossDistributionFamily, UncertainEventLossTable
+from repro.yet.table import YearEventTable
+
+
+def make_uelt(cv: float = 0.5, family=LossDistributionFamily.GAMMA) -> UncertainEventLossTable:
+    return UncertainEventLossTable(
+        event_ids=np.array([1, 3, 5]),
+        mean_losses=np.array([100.0, 200.0, 0.0]),
+        cv_losses=np.array([cv, cv, cv]),
+        catalog_size=10,
+        family=family,
+        terms=FinancialTerms(),
+        name="uelt",
+    )
+
+
+class TestUncertainEventLossTable:
+    def test_expected_elt_preserves_means(self):
+        elt = make_uelt().expected_elt()
+        np.testing.assert_allclose(elt.losses, [100.0, 200.0, 0.0])
+        assert elt.catalog_size == 10
+
+    def test_sample_deterministic_with_seed(self):
+        uelt = make_uelt()
+        a = uelt.sample_elt(rng=1).losses
+        b = uelt.sample_elt(rng=1).losses
+        np.testing.assert_allclose(a, b)
+
+    def test_sample_zero_cv_returns_mean(self):
+        uelt = make_uelt(cv=0.0)
+        np.testing.assert_allclose(uelt.sample_elt(rng=2).losses, [100.0, 200.0, 0.0])
+
+    def test_sample_zero_mean_stays_zero(self):
+        sampled = make_uelt(cv=1.0).sample_elt(rng=3)
+        assert sampled.losses[2] == 0.0
+
+    @pytest.mark.parametrize("family", list(LossDistributionFamily))
+    def test_sample_mean_converges_to_expected(self, family):
+        uelt = make_uelt(cv=0.8, family=family)
+        samples = np.array([uelt.sample_elt(rng=seed).losses[0] for seed in range(3000)])
+        assert samples.mean() == pytest.approx(100.0, rel=0.05)
+
+    def test_from_elt_roundtrip(self):
+        elt = make_uelt().expected_elt()
+        wrapped = UncertainEventLossTable.from_elt(elt, cv=0.3)
+        np.testing.assert_allclose(wrapped.mean_losses, elt.losses)
+        np.testing.assert_allclose(wrapped.cv_losses, 0.3)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mean_losses=np.array([1.0])),                      # length mismatch
+        dict(event_ids=np.array([1, 1, 2])),                    # duplicates
+        dict(cv_losses=np.array([-0.1, 0.1, 0.1])),             # negative cv
+        dict(catalog_size=0),
+    ])
+    def test_invalid_inputs(self, kwargs):
+        base = dict(
+            event_ids=np.array([1, 3, 5]),
+            mean_losses=np.array([1.0, 2.0, 3.0]),
+            cv_losses=np.array([0.1, 0.1, 0.1]),
+            catalog_size=10,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            UncertainEventLossTable(**base)
+
+
+class TestReplicationSummary:
+    def test_from_values(self):
+        summary = ReplicationSummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.low <= summary.mean <= summary.high
+
+    def test_relative_spread(self):
+        summary = ReplicationSummary.from_values([10.0, 20.0])
+        assert summary.relative_spread() > 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationSummary.from_values([])
+
+
+class TestSecondaryUncertaintyAnalysis:
+    @pytest.fixture()
+    def setup(self):
+        uelts = [make_uelt(cv=0.6), UncertainEventLossTable(
+            event_ids=np.array([2, 4]),
+            mean_losses=np.array([50.0, 80.0]),
+            cv_losses=np.array([0.6, 0.6]),
+            catalog_size=10,
+            name="uelt2",
+        )]
+        layer = UncertainLayer(uelts, LayerTerms(aggregate_limit=1e6), name="u-layer")
+        yet = YearEventTable.from_trials([[1, 2], [3], [4, 5, 1]], catalog_size=10)
+        return layer, yet
+
+    def test_metric_summaries_returned(self, setup):
+        layer, yet = setup
+        analysis = SecondaryUncertaintyAnalysis([layer])
+        summaries = analysis.run(yet, n_replications=20, rng=5,
+                                 return_periods=(2.0,), tvar_levels=(0.5,))
+        assert set(summaries) == {"aal", "pml_2", "tvar_0.5"}
+        assert summaries["aal"].std > 0.0
+
+    def test_replicated_mean_close_to_expected(self, setup):
+        layer, yet = setup
+        analysis = SecondaryUncertaintyAnalysis([layer])
+        summaries = analysis.run(yet, n_replications=200, rng=6, return_periods=(2.0,))
+        expected = analysis.expected_metrics(yet, return_periods=(2.0,))
+        assert summaries["aal"].mean == pytest.approx(expected["aal"], rel=0.1)
+
+    def test_zero_cv_collapses_to_deterministic(self):
+        uelt = make_uelt(cv=0.0)
+        layer = UncertainLayer([uelt], LayerTerms(), name="det")
+        yet = YearEventTable.from_trials([[1, 3], [5]], catalog_size=10)
+        analysis = SecondaryUncertaintyAnalysis([layer])
+        summaries = analysis.run(yet, n_replications=5, rng=7, return_periods=(2.0,))
+        assert summaries["aal"].std == pytest.approx(0.0, abs=1e-9)
+
+    def test_deterministic_given_seed(self, setup):
+        layer, yet = setup
+        analysis = SecondaryUncertaintyAnalysis([layer])
+        a = analysis.run(yet, n_replications=10, rng=9)["aal"].values
+        b = analysis.run(yet, n_replications=10, rng=9)["aal"].values
+        np.testing.assert_allclose(a, b)
+
+    def test_config_respected(self, setup):
+        layer, yet = setup
+        analysis = SecondaryUncertaintyAnalysis(
+            [layer], config=EngineConfig(backend="chunked", record_max_occurrence=False)
+        )
+        summaries = analysis.run(yet, n_replications=5, rng=11, return_periods=(2.0,))
+        assert "aal" in summaries
+
+    def test_invalid_arguments(self, setup):
+        layer, yet = setup
+        with pytest.raises(ValueError):
+            SecondaryUncertaintyAnalysis([])
+        with pytest.raises(ValueError):
+            SecondaryUncertaintyAnalysis([layer]).run(yet, n_replications=0)

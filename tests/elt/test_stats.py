@@ -1,0 +1,40 @@
+"""Tests for repro.elt.stats."""
+
+import numpy as np
+import pytest
+
+from repro.elt.stats import elt_statistics
+from repro.elt.table import EventLossTable
+
+
+class TestELTStatistics:
+    def test_basic_statistics(self):
+        elt = EventLossTable(np.array([1, 2, 3, 4]), np.array([10.0, 20.0, 30.0, 40.0]),
+                             catalog_size=100)
+        stats = elt_statistics(elt)
+        assert stats.n_records == 4
+        assert stats.density == pytest.approx(0.04)
+        assert stats.total_loss == pytest.approx(100.0)
+        assert stats.mean_loss == pytest.approx(25.0)
+        assert stats.max_loss == 40.0
+        assert stats.min_loss == 10.0
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(1)
+        ids = rng.choice(1000, 200, replace=False)
+        elt = EventLossTable(ids, rng.gamma(2.0, 100.0, 200), catalog_size=1000)
+        stats = elt_statistics(elt)
+        p50, p90, p99 = stats.loss_percentiles
+        assert p50 <= p90 <= p99 <= stats.max_loss
+
+    def test_empty_elt(self):
+        stats = elt_statistics(EventLossTable(np.array([], dtype=np.int64), np.array([]), 10))
+        assert stats.n_records == 0
+        assert stats.total_loss == 0.0
+        assert stats.loss_percentiles == (0.0, 0.0, 0.0)
+
+    def test_format_summary_contains_fields(self):
+        elt = EventLossTable(np.array([1]), np.array([5.0]), catalog_size=10)
+        text = elt_statistics(elt).format_summary()
+        assert "records=1" in text
+        assert "total=" in text

@@ -1,0 +1,93 @@
+"""Tests for repro.elt.table (the canonical EventLossTable)."""
+
+import numpy as np
+import pytest
+
+from repro.elt.table import EventLossTable
+from repro.financial.terms import FinancialTerms
+
+
+def make_elt(**overrides) -> EventLossTable:
+    kwargs = dict(
+        event_ids=np.array([5, 1, 9]),
+        losses=np.array([10.0, 20.0, 30.0]),
+        catalog_size=20,
+        name="test",
+    )
+    kwargs.update(overrides)
+    return EventLossTable(**kwargs)
+
+
+class TestEventLossTableConstruction:
+    def test_valid_table(self):
+        elt = make_elt()
+        assert elt.size == 3
+        assert elt.catalog_size == 20
+        assert elt.density == pytest.approx(0.15)
+
+    def test_default_terms_passthrough(self):
+        assert make_elt().terms.is_passthrough
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_elt(losses=np.array([1.0]))
+
+    def test_event_ids_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_elt(event_ids=np.array([5, 1, 25]))
+
+    def test_duplicate_event_ids_rejected(self):
+        with pytest.raises(ValueError):
+            make_elt(event_ids=np.array([5, 5, 9]))
+
+    def test_negative_losses_rejected(self):
+        with pytest.raises(ValueError):
+            make_elt(losses=np.array([1.0, -2.0, 3.0]))
+
+    def test_non_finite_losses_rejected(self):
+        with pytest.raises(ValueError):
+            make_elt(losses=np.array([1.0, np.inf, 3.0]))
+
+    def test_zero_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            make_elt(catalog_size=0)
+
+    def test_empty_elt_allowed(self):
+        elt = EventLossTable(np.array([], dtype=np.int64), np.array([]), catalog_size=10)
+        assert elt.size == 0
+        assert elt.density == 0.0
+
+
+class TestEventLossTableViews:
+    def test_iteration(self):
+        pairs = list(make_elt())
+        assert (5, 10.0) in pairs and len(pairs) == 3
+
+    def test_as_dict(self):
+        assert make_elt().as_dict() == {5: 10.0, 1: 20.0, 9: 30.0}
+
+    def test_sorted_copy(self):
+        sorted_elt = make_elt().sorted_copy()
+        np.testing.assert_array_equal(sorted_elt.event_ids, [1, 5, 9])
+        np.testing.assert_allclose(sorted_elt.losses, [20.0, 10.0, 30.0])
+
+    def test_dense_losses(self):
+        dense = make_elt().dense_losses()
+        assert dense.shape == (20,)
+        assert dense[5] == 10.0
+        assert dense[0] == 0.0
+        assert dense.sum() == pytest.approx(60.0)
+
+    def test_from_dict_drops_zero_losses(self):
+        elt = EventLossTable.from_dict({3: 5.0, 7: 0.0, 2: 1.0}, catalog_size=10)
+        assert elt.size == 2
+        assert 7 not in elt.as_dict()
+
+    def test_from_dict_empty(self):
+        elt = EventLossTable.from_dict({}, catalog_size=10)
+        assert elt.size == 0
+
+    def test_terms_preserved_in_sorted_copy(self):
+        terms = FinancialTerms(retention=5.0)
+        elt = make_elt(terms=terms).sorted_copy()
+        assert elt.terms.retention == 5.0

@@ -1,0 +1,68 @@
+"""Tests for repro.exposure.generator."""
+
+import numpy as np
+import pytest
+
+from repro.exposure.generator import ExposureGenerator, ExposureProfile
+from repro.exposure.geography import RegionGrid
+
+
+class TestExposureProfile:
+    def test_defaults_valid(self):
+        ExposureProfile()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mean_value=0.0),
+        dict(home_region_share=1.5),
+        dict(site_deductible_fraction=-0.1),
+        dict(construction_mix={}),
+    ])
+    def test_invalid_profile(self, kwargs):
+        with pytest.raises(ValueError):
+            ExposureProfile(**kwargs)
+
+
+class TestExposureGenerator:
+    def test_portfolio_size(self):
+        generator = ExposureGenerator(RegionGrid(1, 4))
+        portfolio = generator.generate("p", 50, home_region=1, rng=1)
+        assert portfolio.size == 50
+
+    def test_deterministic(self):
+        generator = ExposureGenerator(RegionGrid(1, 4))
+        a = generator.generate("p", 30, home_region=0, rng=9)
+        b = generator.generate("p", 30, home_region=0, rng=9)
+        np.testing.assert_allclose(a.replacement_values, b.replacement_values)
+
+    def test_home_region_concentration(self):
+        profile = ExposureProfile(home_region_share=0.8)
+        generator = ExposureGenerator(RegionGrid(1, 8), profile)
+        portfolio = generator.generate("p", 500, home_region=3, rng=2)
+        share_home = np.mean(portfolio.regions == 3)
+        assert share_home > 0.7
+
+    def test_spill_limited_to_neighbours(self):
+        generator = ExposureGenerator(RegionGrid(1, 8))
+        portfolio = generator.generate("p", 400, home_region=4, rng=3)
+        assert set(np.unique(portfolio.regions)).issubset({3, 4, 5})
+
+    def test_coordinates_inside_region_grid(self):
+        grid = RegionGrid(2, 4)
+        portfolio = ExposureGenerator(grid).generate("p", 100, home_region=2, rng=4)
+        assert (portfolio.latitudes >= -60.0).all() and (portfolio.latitudes <= 75.0).all()
+
+    def test_invalid_home_region(self):
+        with pytest.raises(ValueError):
+            ExposureGenerator(RegionGrid(1, 4)).generate("p", 10, home_region=9)
+
+    def test_generate_many_round_robin_home_regions(self):
+        generator = ExposureGenerator(RegionGrid(1, 4))
+        portfolios = generator.generate_many(8, 50, rng=5)
+        assert len(portfolios) == 8
+        names = {p.name for p in portfolios}
+        assert len(names) == 8
+
+    def test_values_heavy_tailed_but_positive(self):
+        portfolio = ExposureGenerator(RegionGrid(1, 4)).generate("p", 300, home_region=0, rng=6)
+        assert (portfolio.replacement_values > 0).all()
+        assert portfolio.replacement_values.max() > 3 * np.median(portfolio.replacement_values)

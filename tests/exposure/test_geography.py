@@ -1,0 +1,67 @@
+"""Tests for repro.exposure.geography."""
+
+import pytest
+
+from repro.exposure.geography import Region, RegionGrid, haversine_km
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(10.0, 20.0, 10.0, 20.0) == pytest.approx(0.0)
+
+    def test_known_distance_equator_degree(self):
+        # One degree of longitude at the equator is ~111.19 km.
+        assert haversine_km(0.0, 0.0, 0.0, 1.0) == pytest.approx(111.19, rel=0.01)
+
+    def test_symmetric(self):
+        assert haversine_km(10, 20, 30, 40) == pytest.approx(haversine_km(30, 40, 10, 20))
+
+    def test_invalid_coordinates(self):
+        with pytest.raises(ValueError):
+            haversine_km(100.0, 0.0, 0.0, 0.0)
+
+
+class TestRegion:
+    def test_centroid(self):
+        region = Region(0, lat_min=0.0, lat_max=10.0, lon_min=20.0, lon_max=40.0)
+        assert region.centroid == (5.0, 30.0)
+
+    def test_contains(self):
+        region = Region(0, 0.0, 10.0, 0.0, 10.0)
+        assert region.contains(5.0, 5.0)
+        assert not region.contains(15.0, 5.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 10.0, 10.0, 0.0, 5.0)
+
+
+class TestRegionGrid:
+    def test_size(self):
+        assert RegionGrid(n_lat=2, n_lon=4).size == 8
+
+    def test_region_ids_dense(self):
+        grid = RegionGrid(n_lat=2, n_lon=3)
+        assert [region.region_id for region in grid] == list(range(6))
+
+    def test_locate_returns_containing_region(self):
+        grid = RegionGrid(n_lat=2, n_lon=4)
+        for region in grid:
+            lat, lon = region.centroid
+            assert grid.locate(lat, lon).region_id == region.region_id
+
+    def test_locate_clamps_outside_grid(self):
+        grid = RegionGrid(n_lat=2, n_lon=4, lat_range=(-60.0, 75.0))
+        region = grid.locate(89.0, 0.0)
+        assert 0 <= region.region_id < grid.size
+
+    def test_getitem_bounds(self):
+        grid = RegionGrid(1, 2)
+        with pytest.raises(IndexError):
+            _ = grid[2]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RegionGrid(n_lat=0, n_lon=1)
+        with pytest.raises(ValueError):
+            RegionGrid(lat_range=(10.0, 10.0))

@@ -1,0 +1,104 @@
+"""Tests for repro.financial.terms (Table I semantics)."""
+
+import math
+
+import pytest
+
+from repro.financial.terms import FinancialTerms, LayerTerms
+
+
+class TestFinancialTerms:
+    def test_passthrough_defaults(self):
+        terms = FinancialTerms()
+        assert terms.is_passthrough
+        assert terms.apply(123.4) == pytest.approx(123.4)
+
+    def test_retention_subtracted(self):
+        terms = FinancialTerms(retention=100.0)
+        assert terms.apply(250.0) == pytest.approx(150.0)
+        assert terms.apply(80.0) == 0.0
+
+    def test_limit_caps(self):
+        terms = FinancialTerms(limit=300.0)
+        assert terms.apply(1000.0) == pytest.approx(300.0)
+
+    def test_share_scales(self):
+        assert FinancialTerms(share=0.25).apply(400.0) == pytest.approx(100.0)
+
+    def test_fx_applied_before_retention(self):
+        terms = FinancialTerms(retention=100.0, fx_rate=2.0)
+        # 100 * 2 = 200 gross, minus retention 100 = 100
+        assert terms.apply(100.0) == pytest.approx(100.0)
+
+    def test_full_stack(self):
+        terms = FinancialTerms(retention=50.0, limit=200.0, share=0.5, fx_rate=1.5)
+        # 300 * 1.5 = 450; min(max(450 - 50, 0), 200) = 200; * 0.5 = 100
+        assert terms.apply(300.0) == pytest.approx(100.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(retention=-1.0),
+        dict(limit=-1.0),
+        dict(share=1.2),
+        dict(share=-0.1),
+        dict(fx_rate=0.0),
+    ])
+    def test_invalid_terms(self, kwargs):
+        with pytest.raises(ValueError):
+            FinancialTerms(**kwargs)
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            FinancialTerms().apply(-5.0)
+
+
+class TestLayerTerms:
+    def test_passthrough_defaults(self):
+        terms = LayerTerms()
+        assert terms.is_passthrough
+        assert not terms.has_occurrence_terms
+        assert not terms.has_aggregate_terms
+
+    def test_occurrence_application_matches_table1(self):
+        # Table I: occurrence loss net of retention, capped at the limit.
+        terms = LayerTerms(occurrence_retention=100.0, occurrence_limit=400.0)
+        assert terms.apply_occurrence(50.0) == 0.0
+        assert terms.apply_occurrence(300.0) == pytest.approx(200.0)
+        assert terms.apply_occurrence(1000.0) == pytest.approx(400.0)
+
+    def test_aggregate_application_matches_table1(self):
+        terms = LayerTerms(aggregate_retention=500.0, aggregate_limit=1000.0)
+        assert terms.apply_aggregate(400.0) == 0.0
+        assert terms.apply_aggregate(900.0) == pytest.approx(400.0)
+        assert terms.apply_aggregate(5000.0) == pytest.approx(1000.0)
+
+    def test_max_annual_recovery(self):
+        assert LayerTerms(aggregate_limit=750.0).max_annual_recovery() == 750.0
+        assert math.isinf(LayerTerms().max_annual_recovery())
+
+    def test_flags(self):
+        assert LayerTerms(occurrence_retention=1.0).has_occurrence_terms
+        assert LayerTerms(aggregate_limit=10.0).has_aggregate_terms
+
+    def test_describe_mentions_all_terms(self):
+        text = LayerTerms(1.0, 2.0, 3.0, 4.0).describe()
+        for token in ("T_OccR", "T_OccL", "T_AggR", "T_AggL"):
+            assert token in text
+
+    def test_describe_unlimited(self):
+        assert "unlimited" in LayerTerms().describe()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(occurrence_retention=-1.0),
+        dict(occurrence_limit=-2.0),
+        dict(aggregate_retention=-3.0),
+        dict(aggregate_limit=-4.0),
+    ])
+    def test_invalid_terms(self, kwargs):
+        with pytest.raises(ValueError):
+            LayerTerms(**kwargs)
+
+    def test_negative_losses_rejected(self):
+        with pytest.raises(ValueError):
+            LayerTerms().apply_occurrence(-1.0)
+        with pytest.raises(ValueError):
+            LayerTerms().apply_aggregate(-1.0)

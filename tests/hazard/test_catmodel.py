@@ -1,0 +1,112 @@
+"""Tests for repro.hazard.catmodel (catalog + exposure -> ELT)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.generator import CatalogGenerator
+from repro.exposure.generator import ExposureGenerator
+from repro.exposure.geography import RegionGrid
+from repro.financial.terms import FinancialTerms
+from repro.hazard.catmodel import CatastropheModel, CatModelSettings
+
+
+N_REGIONS = 8
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return CatalogGenerator(n_regions=N_REGIONS).generate_with_rate(3000, 100.0, rng=21)
+
+
+@pytest.fixture(scope="module")
+def portfolio():
+    return ExposureGenerator(RegionGrid(1, N_REGIONS)).generate("cedant", 200, home_region=2, rng=22)
+
+
+class TestCatModelSettings:
+    def test_defaults_valid(self):
+        CatModelSettings()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(loss_threshold=-1.0),
+        dict(intensity_scale=0.0),
+        dict(demand_surge=0.5),
+    ])
+    def test_invalid_settings(self, kwargs):
+        with pytest.raises(ValueError):
+            CatModelSettings(**kwargs)
+
+
+class TestCatastropheModel:
+    def test_elt_structure(self, catalog, portfolio):
+        model = CatastropheModel(catalog, n_regions=N_REGIONS)
+        elt = model.generate_elt(portfolio)
+        assert elt.catalog_size == catalog.size
+        assert elt.size > 0
+        assert (elt.losses > 0).all()
+        assert elt.name == portfolio.name
+
+    def test_elt_sparse_relative_to_catalog(self, catalog, portfolio):
+        model = CatastropheModel(catalog, n_regions=N_REGIONS)
+        elt = model.generate_elt(portfolio)
+        # The portfolio touches at most 3 of 8 regions (home +/- 1), and the
+        # footprints spill one region each way, so well under the full
+        # catalog should produce losses.
+        assert elt.size < 0.8 * catalog.size
+
+    def test_only_events_near_exposure_produce_losses(self, catalog, portfolio):
+        model = CatastropheModel(catalog, n_regions=N_REGIONS)
+        elt = model.generate_elt(portfolio)
+        exposure_regions = set(int(r) for r in np.unique(portfolio.regions))
+        reachable = set()
+        for region in exposure_regions:
+            reachable.update({region - 1, region, region + 1})
+        event_regions = set(int(r) for r in catalog.regions[elt.event_ids])
+        assert event_regions.issubset(reachable)
+
+    def test_losses_scale_with_exposure_value(self, catalog, portfolio):
+        model = CatastropheModel(catalog, n_regions=N_REGIONS)
+        base = model.event_losses(portfolio)
+        # Doubling every replacement value doubles the expected losses.
+        import copy
+
+        doubled = copy.deepcopy(portfolio)
+        doubled.replacement_values = portfolio.replacement_values * 2.0
+        scaled = model.event_losses(doubled)
+        np.testing.assert_allclose(scaled, base * 2.0, rtol=1e-9)
+
+    def test_demand_surge_scales_losses(self, catalog, portfolio):
+        plain = CatastropheModel(catalog, n_regions=N_REGIONS)
+        surged = CatastropheModel(
+            catalog, n_regions=N_REGIONS, settings=CatModelSettings(demand_surge=1.2)
+        )
+        np.testing.assert_allclose(
+            surged.event_losses(portfolio), plain.event_losses(portfolio) * 1.2, rtol=1e-9
+        )
+
+    def test_loss_threshold_filters_records(self, catalog, portfolio):
+        low = CatastropheModel(
+            catalog, n_regions=N_REGIONS, settings=CatModelSettings(loss_threshold=1.0)
+        ).generate_elt(portfolio)
+        high = CatastropheModel(
+            catalog, n_regions=N_REGIONS, settings=CatModelSettings(loss_threshold=1e7)
+        ).generate_elt(portfolio)
+        assert high.size < low.size
+
+    def test_financial_terms_attached(self, catalog, portfolio):
+        model = CatastropheModel(catalog, n_regions=N_REGIONS)
+        terms = FinancialTerms(share=0.5)
+        elt = model.generate_elt(portfolio, terms=terms)
+        assert elt.terms.share == 0.5
+
+    def test_generate_elts_multiple(self, catalog):
+        generator = ExposureGenerator(RegionGrid(1, N_REGIONS))
+        portfolios = generator.generate_many(3, 100, rng=30)
+        model = CatastropheModel(catalog, n_regions=N_REGIONS)
+        elts = model.generate_elts(portfolios)
+        assert len(elts) == 3
+        assert len({elt.name for elt in elts}) == 3
+
+    def test_invalid_region_count(self, catalog):
+        with pytest.raises(ValueError):
+            CatastropheModel(catalog, n_regions=0)

@@ -1,0 +1,85 @@
+"""Tests for repro.parallel.executor."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.executor import ParallelConfig, TrialBlockExecutor, available_cores
+from repro.parallel.partitioner import TrialRange
+from repro.parallel.scheduling import SchedulingPolicy
+
+
+def _sum_block(context, block: TrialRange) -> float:
+    """Top-level (picklable) block function: sum of context values in the block."""
+    values = context["values"]
+    return float(values[block.start : block.stop].sum())
+
+
+def _square_item(context, item: int) -> int:
+    return item * item
+
+
+class TestAvailableCores:
+    def test_positive(self):
+        assert available_cores() >= 1
+
+
+class TestParallelConfig:
+    def test_defaults(self):
+        config = ParallelConfig()
+        assert config.n_workers >= 1
+        assert config.policy is SchedulingPolicy.STATIC
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(n_workers=0)
+        with pytest.raises(ValueError):
+            ParallelConfig(start_method="threads")
+
+
+class TestTrialBlockExecutor:
+    def test_serial_fast_path(self):
+        values = np.arange(100, dtype=np.float64)
+        executor = TrialBlockExecutor(ParallelConfig(n_workers=1), context={"values": values})
+        results = executor.run(_sum_block, n_trials=100)
+        assert sum(results) == pytest.approx(values.sum())
+
+    def test_multiprocess_matches_serial(self):
+        values = np.arange(1000, dtype=np.float64)
+        serial = TrialBlockExecutor(ParallelConfig(n_workers=1), context={"values": values})
+        parallel = TrialBlockExecutor(ParallelConfig(n_workers=2), context={"values": values})
+        assert sum(parallel.run(_sum_block, n_trials=1000)) == pytest.approx(
+            sum(serial.run(_sum_block, n_trials=1000))
+        )
+
+    def test_results_in_submission_order(self):
+        executor = TrialBlockExecutor(ParallelConfig(n_workers=2))
+        results = executor.run(_square_item, work_items=[1, 2, 3, 4, 5])
+        assert results == [1, 4, 9, 16, 25]
+
+    def test_dynamic_schedule_covers_all_trials(self):
+        values = np.ones(500, dtype=np.float64)
+        config = ParallelConfig(n_workers=2, policy=SchedulingPolicy.DYNAMIC, oversubscription=8)
+        executor = TrialBlockExecutor(config, context={"values": values})
+        assert sum(executor.run(_sum_block, n_trials=500)) == pytest.approx(500.0)
+
+    def test_context_factory_used(self):
+        executor = TrialBlockExecutor(
+            ParallelConfig(n_workers=1),
+            context_factory=lambda: {"values": np.full(10, 2.0)},
+        )
+        results = executor.run(_sum_block, n_trials=10)
+        assert sum(results) == pytest.approx(20.0)
+
+    def test_empty_work_items(self):
+        executor = TrialBlockExecutor(ParallelConfig(n_workers=2))
+        assert executor.run(_square_item, work_items=[]) == []
+
+    def test_requires_work_items_or_trials(self):
+        with pytest.raises(ValueError):
+            TrialBlockExecutor().run(_square_item)
+
+    def test_schedule_for_matches_config(self):
+        config = ParallelConfig(n_workers=3, policy=SchedulingPolicy.STATIC)
+        schedule = TrialBlockExecutor(config).schedule_for(99)
+        assert schedule.n_blocks == 3
+        assert schedule.total_trials() == 99

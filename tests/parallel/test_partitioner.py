@@ -1,0 +1,83 @@
+"""Tests for repro.parallel.partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.partitioner import TrialRange, block_partition, chunk_partition, cyclic_partition
+
+
+class TestTrialRange:
+    def test_size_and_iteration(self):
+        r = TrialRange(3, 7)
+        assert r.size == len(r) == 4
+        assert list(r) == [3, 4, 5, 6]
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            TrialRange(5, 3)
+        with pytest.raises(ValueError):
+            TrialRange(-1, 3)
+
+
+class TestBlockPartition:
+    def test_covers_all_trials_exactly_once(self):
+        blocks = block_partition(103, 8)
+        covered = [i for block in blocks for i in block]
+        assert covered == list(range(103))
+
+    def test_block_count(self):
+        assert len(block_partition(100, 7)) == 7
+
+    def test_sizes_balanced(self):
+        sizes = [block.size for block in block_partition(103, 8)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_blocks_than_trials(self):
+        blocks = block_partition(3, 5)
+        assert len(blocks) == 5
+        assert sum(block.size for block in blocks) == 3
+
+    def test_zero_trials(self):
+        blocks = block_partition(0, 4)
+        assert all(block.size == 0 for block in blocks)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            block_partition(-1, 2)
+        with pytest.raises(ValueError):
+            block_partition(10, 0)
+
+
+class TestChunkPartition:
+    def test_chunk_sizes(self):
+        chunks = chunk_partition(10, 3)
+        assert [c.size for c in chunks] == [3, 3, 3, 1]
+
+    def test_covers_all_trials(self):
+        chunks = chunk_partition(25, 4)
+        covered = [i for chunk in chunks for i in chunk]
+        assert covered == list(range(25))
+
+    def test_zero_trials_single_empty_chunk(self):
+        chunks = chunk_partition(0, 5)
+        assert len(chunks) == 1 and chunks[0].size == 0
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_partition(10, 0)
+
+
+class TestCyclicPartition:
+    def test_round_robin_assignment(self):
+        parts = cyclic_partition(10, 3)
+        np.testing.assert_array_equal(parts[0], [0, 3, 6, 9])
+        np.testing.assert_array_equal(parts[1], [1, 4, 7])
+        np.testing.assert_array_equal(parts[2], [2, 5, 8])
+
+    def test_covers_all_trials(self):
+        parts = cyclic_partition(17, 4)
+        assert sorted(np.concatenate(parts).tolist()) == list(range(17))
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            cyclic_partition(10, 0)

@@ -1,0 +1,78 @@
+"""Tests for repro.parallel.scheduling."""
+
+import pytest
+
+from repro.parallel.scheduling import (
+    Schedule,
+    SchedulingPolicy,
+    make_schedule,
+    memory_bound_speedup_model,
+)
+
+
+class TestMakeSchedule:
+    def test_static_one_block_per_worker(self):
+        schedule = make_schedule(1000, 4, SchedulingPolicy.STATIC)
+        assert schedule.n_blocks == 4
+        assert schedule.oversubscription == 1
+        assert schedule.total_trials() == 1000
+
+    def test_dynamic_oversubscription(self):
+        schedule = make_schedule(1000, 4, SchedulingPolicy.DYNAMIC, oversubscription=8)
+        assert schedule.n_blocks >= 4 * 8 - 4  # ceil division may merge the tail
+        assert schedule.total_trials() == 1000
+        assert schedule.oversubscription == 8
+
+    def test_dynamic_blocks_smaller_than_static(self):
+        static = make_schedule(1000, 4, SchedulingPolicy.STATIC)
+        dynamic = make_schedule(1000, 4, SchedulingPolicy.DYNAMIC, oversubscription=16)
+        assert dynamic.max_block_size < static.max_block_size
+
+    def test_static_ignores_oversubscription(self):
+        schedule = make_schedule(100, 2, SchedulingPolicy.STATIC, oversubscription=32)
+        assert schedule.oversubscription == 1
+
+    def test_zero_trials(self):
+        schedule = make_schedule(0, 2, SchedulingPolicy.STATIC)
+        assert schedule.total_trials() == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_schedule(-1, 2)
+        with pytest.raises(ValueError):
+            make_schedule(10, 0)
+        with pytest.raises(ValueError):
+            make_schedule(10, 2, oversubscription=0)
+
+    def test_schedule_is_frozen_dataclass(self):
+        schedule = make_schedule(10, 2)
+        assert isinstance(schedule, Schedule)
+        with pytest.raises(AttributeError):
+            schedule.n_workers = 5  # type: ignore[misc]
+
+
+class TestMemoryBoundSpeedupModel:
+    def test_single_core_speedup_is_one(self):
+        assert memory_bound_speedup_model(1) == pytest.approx(1.0)
+
+    def test_speedup_monotone_but_saturating(self):
+        speedups = [memory_bound_speedup_model(n) for n in (1, 2, 4, 8, 16)]
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+        # Far below linear scaling at 8+ cores (the paper reports 2.6x at 8).
+        assert speedups[3] < 4.0
+
+    def test_matches_paper_ballpark(self):
+        # Paper: 1.5x (2 cores), 2.2x (4), 2.6x (8).  The simple roofline model
+        # reproduces the saturating shape within ~35 %.
+        assert memory_bound_speedup_model(2) == pytest.approx(1.5, rel=0.4)
+        assert memory_bound_speedup_model(4) == pytest.approx(2.2, rel=0.35)
+        assert memory_bound_speedup_model(8) == pytest.approx(2.6, rel=0.25)
+
+    def test_pure_compute_scales_linearly(self):
+        assert memory_bound_speedup_model(8, memory_bound_fraction=0.0) == pytest.approx(8.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            memory_bound_speedup_model(0)
+        with pytest.raises(ValueError):
+            memory_bound_speedup_model(2, memory_bound_fraction=1.5)

@@ -1,0 +1,83 @@
+"""Tests for repro.parallel.shared_memory."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.shared_memory import SharedArray, SharedWorkspace
+
+
+class TestSharedArray:
+    def test_roundtrip_through_descriptor(self):
+        source = np.arange(100, dtype=np.float64).reshape(10, 10)
+        owner = SharedArray.from_array(source)
+        try:
+            np.testing.assert_array_equal(owner.array, source)
+            attached = SharedArray.attach(owner.descriptor)
+            try:
+                np.testing.assert_array_equal(attached.array, source)
+                assert attached.array.dtype == source.dtype
+            finally:
+                attached.close()
+        finally:
+            owner.close()
+
+    def test_writes_visible_through_attachment(self):
+        owner = SharedArray.from_array(np.zeros(4))
+        try:
+            attached = SharedArray.attach(owner.descriptor)
+            try:
+                owner.array[2] = 42.0
+                assert attached.array[2] == 42.0
+            finally:
+                attached.close()
+        finally:
+            owner.close()
+
+    def test_close_idempotent(self):
+        owner = SharedArray.from_array(np.ones(3))
+        owner.close()
+        owner.close()
+
+    def test_context_manager(self):
+        with SharedArray.from_array(np.ones(5)) as shared:
+            assert shared.nbytes == 40
+
+    def test_integer_dtype_preserved(self):
+        source = np.arange(10, dtype=np.int32)
+        with SharedArray.from_array(source) as owner:
+            attached = SharedArray.attach(owner.descriptor)
+            try:
+                assert attached.array.dtype == np.int32
+            finally:
+                attached.close()
+
+
+class TestSharedWorkspace:
+    def test_add_and_get(self):
+        with SharedWorkspace() as workspace:
+            workspace.add("events", np.arange(10))
+            np.testing.assert_array_equal(workspace.get("events"), np.arange(10))
+
+    def test_duplicate_name_rejected(self):
+        with SharedWorkspace() as workspace:
+            workspace.add("a", np.zeros(2))
+            with pytest.raises(KeyError):
+                workspace.add("a", np.zeros(2))
+
+    def test_total_bytes(self):
+        with SharedWorkspace() as workspace:
+            workspace.add("a", np.zeros(10, dtype=np.float64))
+            workspace.add("b", np.zeros(5, dtype=np.float64))
+            assert workspace.total_bytes == 120
+
+    def test_attach_all_descriptors(self):
+        with SharedWorkspace() as workspace:
+            workspace.add("x", np.arange(4, dtype=np.float64))
+            workspace.add("y", np.arange(3, dtype=np.int64))
+            attachments = SharedWorkspace.attach_all(workspace.descriptors())
+            try:
+                np.testing.assert_array_equal(attachments["x"].array, np.arange(4))
+                np.testing.assert_array_equal(attachments["y"].array, np.arange(3))
+            finally:
+                for shared in attachments.values():
+                    shared.close()

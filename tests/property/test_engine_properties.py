@@ -1,0 +1,112 @@
+"""Property-based tests of the engine itself (hypothesis).
+
+Random small workloads (random ELTs, random trials, random terms) are run
+through the sequential reference and the vectorized backend; the two must
+agree, and the outputs must satisfy the contractual bounds regardless of the
+inputs drawn.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.elt.table import EventLossTable
+from repro.financial.terms import FinancialTerms, LayerTerms
+from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
+from repro.yet.table import YearEventTable
+
+CATALOG_SIZE = 40
+
+
+@st.composite
+def random_elt(draw, name: str):
+    n_records = draw(st.integers(min_value=0, max_value=12))
+    event_ids = draw(st.lists(st.integers(min_value=0, max_value=CATALOG_SIZE - 1),
+                              min_size=n_records, max_size=n_records, unique=True))
+    losses = draw(st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+                           min_size=n_records, max_size=n_records))
+    terms = FinancialTerms(
+        retention=draw(st.floats(min_value=0.0, max_value=100.0)),
+        limit=draw(st.one_of(st.just(float("inf")), st.floats(min_value=10.0, max_value=1e4))),
+        share=draw(st.floats(min_value=0.1, max_value=1.0)),
+    )
+    return EventLossTable(np.array(event_ids, dtype=np.int64), np.array(losses),
+                          CATALOG_SIZE, terms, name)
+
+
+@st.composite
+def random_layer(draw, index: int):
+    n_elts = draw(st.integers(min_value=1, max_value=4))
+    elts = [draw(random_elt(f"elt-{index}-{i}")) for i in range(n_elts)]
+    terms = LayerTerms(
+        occurrence_retention=draw(st.floats(min_value=0.0, max_value=500.0)),
+        occurrence_limit=draw(st.one_of(st.just(float("inf")),
+                                        st.floats(min_value=10.0, max_value=1e4))),
+        aggregate_retention=draw(st.floats(min_value=0.0, max_value=1000.0)),
+        aggregate_limit=draw(st.one_of(st.just(float("inf")),
+                                       st.floats(min_value=10.0, max_value=1e5))),
+    )
+    return Layer(elts, terms, name=f"layer-{index}")
+
+
+@st.composite
+def random_workload(draw):
+    n_layers = draw(st.integers(min_value=1, max_value=2))
+    program = ReinsuranceProgram([draw(random_layer(i)) for i in range(n_layers)])
+    n_trials = draw(st.integers(min_value=1, max_value=12))
+    trials = [
+        draw(st.lists(st.integers(min_value=0, max_value=CATALOG_SIZE - 1),
+                      min_size=0, max_size=15))
+        for _ in range(n_trials)
+    ]
+    yet = YearEventTable.from_trials(trials, CATALOG_SIZE)
+    return program, yet
+
+
+class TestEngineProperties:
+    @given(random_workload())
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_matches_sequential(self, workload):
+        program, yet = workload
+        sequential = AggregateRiskEngine(EngineConfig(backend="sequential")).run(program, yet)
+        vectorized = AggregateRiskEngine(EngineConfig(backend="vectorized")).run(program, yet)
+        np.testing.assert_allclose(
+            vectorized.ylt.losses, sequential.ylt.losses, rtol=1e-9, atol=1e-6
+        )
+
+    @given(random_workload())
+    @settings(max_examples=40, deadline=None)
+    def test_chunked_matches_sequential(self, workload):
+        program, yet = workload
+        sequential = AggregateRiskEngine(EngineConfig(backend="sequential")).run(program, yet)
+        chunked = AggregateRiskEngine(EngineConfig(backend="chunked", chunk_events=7)).run(
+            program, yet
+        )
+        np.testing.assert_allclose(
+            chunked.ylt.losses, sequential.ylt.losses, rtol=1e-9, atol=1e-6
+        )
+
+    @given(random_workload())
+    @settings(max_examples=60, deadline=None)
+    def test_year_losses_within_contractual_bounds(self, workload):
+        program, yet = workload
+        result = AggregateRiskEngine(EngineConfig(backend="vectorized")).run(program, yet)
+        for index, layer in enumerate(program):
+            losses = result.ylt.losses[index]
+            assert (losses >= 0.0).all()
+            assert (losses <= layer.terms.aggregate_limit + 1e-6).all()
+            max_occ = result.ylt.max_occurrence_losses[index]
+            assert (max_occ <= layer.terms.occurrence_limit + 1e-6).all()
+
+    @given(random_workload())
+    @settings(max_examples=30, deadline=None)
+    def test_empty_trials_produce_zero_loss(self, workload):
+        program, yet = workload
+        result = AggregateRiskEngine(EngineConfig(backend="vectorized")).run(program, yet)
+        lengths = yet.events_per_trial
+        empty = lengths == 0
+        if empty.any():
+            assert np.allclose(result.ylt.losses[:, empty], 0.0)

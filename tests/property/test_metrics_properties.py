@@ -1,0 +1,90 @@
+"""Property-based tests of the risk metrics and EP curves (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.ylt.ep_curve import aep_curve
+from repro.ylt.metrics import aal, compute_risk_metrics, pml, tvar, value_at_risk
+
+year_losses = npst.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=500),
+    elements=st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestMetricProperties:
+    @given(year_losses)
+    @settings(max_examples=200, deadline=None)
+    def test_aal_between_min_and_max(self, losses):
+        value = aal(losses)
+        tolerance = 1e-9 + 1e-9 * abs(float(losses.max()))
+        assert losses.min() - tolerance <= value <= losses.max() + tolerance
+
+    @given(year_losses, st.floats(min_value=1.0, max_value=1000.0))
+    @settings(max_examples=200, deadline=None)
+    def test_pml_within_observed_range(self, losses, return_period):
+        value = pml(losses, return_period)
+        assert losses.min() - 1e-9 <= value <= losses.max() + 1e-9
+
+    @given(year_losses)
+    @settings(max_examples=150, deadline=None)
+    def test_pml_monotone_in_return_period(self, losses):
+        periods = [2.0, 10.0, 50.0, 250.0]
+        values = [pml(losses, rp) for rp in periods]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    @given(year_losses, st.floats(min_value=0.5, max_value=0.999))
+    @settings(max_examples=200, deadline=None)
+    def test_tvar_at_least_var(self, losses, level):
+        tolerance = 1e-9 + 1e-9 * abs(float(losses.max()))
+        assert tvar(losses, level) >= value_at_risk(losses, level) - tolerance
+
+    @given(year_losses)
+    @settings(max_examples=150, deadline=None)
+    def test_tvar_monotone_in_level(self, losses):
+        levels = [0.5, 0.9, 0.99]
+        values = [tvar(losses, level) for level in levels]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    @given(year_losses)
+    @settings(max_examples=100, deadline=None)
+    def test_compute_risk_metrics_consistent(self, losses):
+        metrics = compute_risk_metrics(losses, return_periods=(10.0, 100.0), tvar_levels=(0.95,))
+        tolerance = 1e-9 + 1e-9 * abs(float(losses.max()))
+        assert metrics.max_loss == losses.max()
+        assert metrics.aal <= metrics.max_loss + tolerance
+        assert metrics.tvar[0.95] <= metrics.max_loss + tolerance
+
+
+class TestEPCurveProperties:
+    @given(year_losses)
+    @settings(max_examples=150, deadline=None)
+    def test_curve_probabilities_valid(self, losses):
+        curve = aep_curve(losses)
+        probs = curve.exceedance_probabilities
+        assert (probs >= 0.0).all() and (probs <= 1.0).all()
+        assert (np.diff(probs) <= 1e-12).all()
+
+    @given(year_losses, st.floats(min_value=1.0, max_value=500.0))
+    @settings(max_examples=150, deadline=None)
+    def test_loss_at_return_period_within_range(self, losses, return_period):
+        curve = aep_curve(losses)
+        value = curve.loss_at_return_period(return_period)
+        assert losses.min() - 1e-9 <= value <= losses.max() + 1e-9
+
+    @given(year_losses)
+    @settings(max_examples=100, deadline=None)
+    def test_curve_pml_close_to_quantile_pml(self, losses):
+        curve = aep_curve(losses)
+        # The curve-based PML and the quantile-based PML are both consistent
+        # estimators; on finite samples they may differ by one order statistic.
+        curve_pml = curve.loss_at_return_period(10.0)
+        quantile_pml = pml(losses, 10.0)
+        sorted_losses = np.sort(losses)
+        idx = np.searchsorted(sorted_losses, quantile_pml)
+        neighbourhood = sorted_losses[max(0, idx - 2): idx + 3]
+        assert curve_pml >= neighbourhood.min() - 1e-6
+        assert curve_pml <= sorted_losses.max() + 1e-6

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.preset == "bench"
+        assert args.backend == "vectorized"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "quantum"])
+
+
+class TestCommands:
+    def test_run_tiny(self, capsys):
+        assert main(["run", "--preset", "tiny", "--backend", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=vectorized" in out
+
+    def test_run_with_phases(self, capsys):
+        assert main(["run", "--preset", "tiny", "--phases"]) == 0
+        out = capsys.readouterr().out
+        assert "elt_lookup" in out
+
+    def test_metrics_report(self, capsys):
+        assert main(["metrics", "--preset", "tiny", "--return-periods", "10,50"]) == 0
+        out = capsys.readouterr().out
+        assert "PML by return period" in out
+        assert "50 yr" in out
+
+    def test_generate_writes_yet(self, tmp_path, capsys):
+        out_path = tmp_path / "tiny_yet"
+        assert main(["generate", "--preset", "tiny", "--out", str(out_path)]) == 0
+        assert (tmp_path / "tiny_yet.npz").exists()
+
+    def test_project_outputs_all_implementations(self, capsys):
+        assert main(["project", "--trials", "100000"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sequential_cpu", "multicore_cpu", "basic_gpu", "optimised_gpu"):
+            assert name in out
+
+    def test_run_multicore_backend(self, capsys):
+        assert main(["run", "--preset", "tiny", "--backend", "multicore", "--workers", "2"]) == 0
+
+    def test_run_gpu_backend(self, capsys):
+        assert main(["run", "--preset", "tiny", "--backend", "gpu",
+                     "--threads-per-block", "16", "--chunk-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "modeled=" in out
+
+    def test_seed_override(self, capsys):
+        assert main(["run", "--preset", "tiny", "--seed", "123"]) == 0

@@ -1,0 +1,122 @@
+"""Tests for repro.utils.arrays (segment reductions used by the engine)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.arrays import (
+    as_float_array,
+    as_int_array,
+    cumulative_within_segments,
+    segment_ids_from_offsets,
+    segment_lengths,
+    segment_max,
+    segment_sum,
+    validate_offsets,
+)
+
+
+class TestConversions:
+    def test_as_float_array_copies_lists(self):
+        arr = as_float_array([1, 2, 3])
+        assert arr.dtype == np.float64
+        np.testing.assert_array_equal(arr, [1.0, 2.0, 3.0])
+
+    def test_as_float_array_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_float_array(np.zeros((2, 2)))
+
+    def test_as_int_array_accepts_integral_floats(self):
+        arr = as_int_array(np.array([1.0, 2.0]))
+        assert arr.dtype == np.int64
+
+    def test_as_int_array_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            as_int_array(np.array([1.5]))
+
+
+class TestValidateOffsets:
+    def test_valid_offsets_pass(self):
+        offsets = validate_offsets(np.array([0, 2, 5]), total=5)
+        np.testing.assert_array_equal(offsets, [0, 2, 5])
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            validate_offsets(np.array([1, 5]), total=5)
+
+    def test_must_end_at_total(self):
+        with pytest.raises(ValueError):
+            validate_offsets(np.array([0, 4]), total=5)
+
+    def test_must_be_non_decreasing(self):
+        with pytest.raises(ValueError):
+            validate_offsets(np.array([0, 3, 2, 5]), total=5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            validate_offsets(np.array([], dtype=np.int64), total=0)
+
+
+class TestSegmentReductions:
+    def test_segment_lengths(self):
+        np.testing.assert_array_equal(segment_lengths(np.array([0, 2, 2, 5])), [2, 0, 3])
+
+    def test_segment_ids(self):
+        np.testing.assert_array_equal(
+            segment_ids_from_offsets(np.array([0, 2, 5])), [0, 0, 1, 1, 1]
+        )
+
+    def test_segment_sum_basic(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        result = segment_sum(values, np.array([0, 2, 5]))
+        np.testing.assert_allclose(result, [3.0, 12.0])
+
+    def test_segment_sum_empty_segments(self):
+        values = np.array([1.0, 2.0])
+        result = segment_sum(values, np.array([0, 0, 2, 2]))
+        np.testing.assert_allclose(result, [0.0, 3.0, 0.0])
+
+    def test_segment_sum_all_empty(self):
+        result = segment_sum(np.zeros(0), np.array([0, 0, 0]))
+        np.testing.assert_allclose(result, [0.0, 0.0])
+
+    def test_segment_max_basic(self):
+        values = np.array([1.0, 5.0, 2.0, 4.0])
+        result = segment_max(values, np.array([0, 2, 4]))
+        np.testing.assert_allclose(result, [5.0, 4.0])
+
+    def test_segment_max_empty_segment_uses_initial(self):
+        values = np.array([1.0])
+        result = segment_max(values, np.array([0, 0, 1]), initial=0.0)
+        np.testing.assert_allclose(result, [0.0, 1.0])
+
+    def test_segment_max_matches_python_loop(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(50)
+        offsets = np.array([0, 7, 7, 20, 33, 50])
+        expected = [
+            values[a:b].max() if b > a else 0.0
+            for a, b in zip(offsets[:-1], offsets[1:])
+        ]
+        np.testing.assert_allclose(segment_max(values, offsets), expected)
+
+    def test_cumulative_within_segments(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        result = cumulative_within_segments(values, np.array([0, 2, 4]))
+        np.testing.assert_allclose(result, [1.0, 3.0, 3.0, 7.0])
+
+    def test_cumulative_within_segments_restarts(self):
+        values = np.ones(6)
+        result = cumulative_within_segments(values, np.array([0, 3, 6]))
+        np.testing.assert_allclose(result, [1, 2, 3, 1, 2, 3])
+
+    def test_cumulative_empty_input(self):
+        result = cumulative_within_segments(np.zeros(0), np.array([0, 0]))
+        assert result.size == 0
+
+    def test_segment_sum_matches_numpy_split(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(100)
+        cuts = np.sort(rng.integers(0, 100, size=9))
+        offsets = np.concatenate(([0], cuts, [100]))
+        expected = [chunk.sum() for chunk in np.split(values, offsets[1:-1])]
+        np.testing.assert_allclose(segment_sum(values, offsets), expected)

@@ -1,0 +1,96 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequenceFactory, derive_rng, spawn_rngs
+
+
+class TestDeriveRng:
+    def test_int_seed_is_deterministic(self):
+        a = derive_rng(42).random(5)
+        b = derive_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1).random(5)
+        b = derive_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert derive_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(11)
+        a = derive_rng(seq).random(3)
+        b = derive_rng(np.random.SeedSequence(11)).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            derive_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        rngs = spawn_rngs(7, 4)
+        assert len(rngs) == 4
+        draws = [rng.random() for rng in rngs]
+        assert len(set(draws)) == 4
+
+    def test_deterministic_across_calls(self):
+        a = [r.random() for r in spawn_rngs(5, 3)]
+        b = [r.random() for r in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_rngs(5, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(5, -1)
+
+
+class TestSeedSequenceFactory:
+    def test_same_name_same_stream(self):
+        f1, f2 = SeedSequenceFactory(9), SeedSequenceFactory(9)
+        assert f1.rng("yet").random() == f2.rng("yet").random()
+
+    def test_different_names_differ(self):
+        factory = SeedSequenceFactory(9)
+        assert factory.rng("yet").random() != factory.rng("elt").random()
+
+    def test_name_order_irrelevant(self):
+        f1, f2 = SeedSequenceFactory(9), SeedSequenceFactory(9)
+        _ = f1.rng("first")
+        value_after_other_use = f1.rng("target").random()
+        value_direct = f2.rng("target").random()
+        assert value_after_other_use == value_direct
+
+    def test_rngs_mapping(self):
+        factory = SeedSequenceFactory(3)
+        streams = factory.rngs(["a", "b"])
+        assert set(streams) == {"a", "b"}
+
+    def test_spawn_for_workers_independent_and_deterministic(self):
+        f1, f2 = SeedSequenceFactory(4), SeedSequenceFactory(4)
+        a = [r.random() for r in f1.spawn_for_workers("mc", 3)]
+        b = [r.random() for r in f2.spawn_for_workers("mc", 3)]
+        assert a == b
+        assert len(set(a)) == 3
+
+    def test_generator_seed_supported(self):
+        factory = SeedSequenceFactory(np.random.default_rng(5))
+        assert isinstance(factory.rng("x"), np.random.Generator)
+
+    def test_bad_seed_type_rejected(self):
+        with pytest.raises(TypeError):
+            SeedSequenceFactory(3.5)  # type: ignore[arg-type]

@@ -1,0 +1,95 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    ensure_finite,
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_probability,
+)
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(3) == 3.0
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError):
+            ensure_positive(value)
+
+    def test_inf_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            ensure_positive(math.inf)
+
+    def test_inf_accepted_when_allowed(self):
+        assert ensure_positive(math.inf, allow_inf=True) == math.inf
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_positive(math.nan)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_positive(True)
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_positive("3")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="retention"):
+            ensure_positive(-1, "retention")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert ensure_non_negative(0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_non_negative(-0.5)
+
+    def test_inf_handling(self):
+        assert ensure_non_negative(math.inf, allow_inf=True) == math.inf
+        with pytest.raises(ValueError):
+            ensure_non_negative(math.inf)
+
+
+class TestEnsureProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert ensure_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, math.inf])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            ensure_probability(value)
+
+
+class TestEnsureInRange:
+    def test_inclusive_bounds(self):
+        assert ensure_in_range(1.0, 1.0, 2.0) == 1.0
+        assert ensure_in_range(2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(1.0, 1.0, 2.0, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(3.0, 1.0, 2.0)
+
+
+class TestEnsureFinite:
+    def test_accepts_finite(self):
+        assert ensure_finite(-2.5) == -2.5
+
+    @pytest.mark.parametrize("value", [math.inf, -math.inf, math.nan])
+    def test_rejects_non_finite(self, value):
+        with pytest.raises(ValueError):
+            ensure_finite(value)

@@ -1,0 +1,55 @@
+"""Tests for repro.workloads.presets."""
+
+import pytest
+
+from repro.workloads.presets import (
+    PAPER_FULL_SCALE,
+    bench_spec,
+    paper_scaled_spec,
+    preset,
+    preset_names,
+    tiny_spec,
+)
+
+
+class TestPresets:
+    def test_paper_full_scale_matches_paper_parameters(self):
+        assert PAPER_FULL_SCALE.n_trials == 1_000_000
+        assert PAPER_FULL_SCALE.events_per_trial == 1000
+        assert PAPER_FULL_SCALE.elts_per_layer == 15
+        assert PAPER_FULL_SCALE.catalog_size == 2_000_000
+        assert PAPER_FULL_SCALE.total_lookups == 15_000_000_000
+
+    def test_tiny_spec_is_small(self):
+        spec = tiny_spec()
+        assert spec.n_trials <= 100
+        assert spec.total_lookups < 10_000
+
+    def test_bench_spec_preserves_paper_structure(self):
+        spec = bench_spec()
+        assert spec.elts_per_layer == PAPER_FULL_SCALE.elts_per_layer
+        # Trials remain the dominant dimension and the catalog stays much
+        # larger than a single ELT (direct access tables remain sparse).
+        assert spec.n_trials > spec.events_per_trial
+        assert spec.catalog_size >= 10 * spec.events_per_trial
+
+    def test_paper_scaled_spec_scales_trials_only(self):
+        spec = paper_scaled_spec(0.001)
+        assert spec.n_trials == 1000
+        assert spec.events_per_trial == PAPER_FULL_SCALE.events_per_trial
+        assert spec.elts_per_layer == PAPER_FULL_SCALE.elts_per_layer
+
+    def test_paper_scaled_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            paper_scaled_spec(0.0)
+
+    def test_preset_lookup(self):
+        assert preset("tiny").n_trials == tiny_spec().n_trials
+        assert "bench" in preset_names()
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset("gigantic")
+
+    def test_seeds_make_presets_deterministic(self):
+        assert preset("bench").seed == preset("bench").seed

@@ -1,0 +1,52 @@
+"""Tests for repro.yet.io (YET serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.yet.io import load_yet, save_yet
+from repro.yet.table import YearEventTable
+
+
+def make_yet(with_timestamps: bool = True) -> YearEventTable:
+    return YearEventTable.from_trials(
+        trials=[[1, 2], [3], [4, 5, 6]],
+        catalog_size=50,
+        timestamps=[[0.1, 0.6], [0.2], [0.3, 0.5, 0.9]] if with_timestamps else None,
+    )
+
+
+class TestRoundTrip:
+    def test_roundtrip_with_timestamps(self, tmp_path):
+        original = make_yet(True)
+        path = save_yet(original, tmp_path / "yet_a")
+        loaded = load_yet(path)
+        assert loaded.n_trials == original.n_trials
+        assert loaded.catalog_size == original.catalog_size
+        np.testing.assert_array_equal(loaded.event_ids, original.event_ids)
+        np.testing.assert_array_equal(loaded.trial_offsets, original.trial_offsets)
+        np.testing.assert_allclose(loaded.timestamps, original.timestamps)
+
+    def test_roundtrip_without_timestamps(self, tmp_path):
+        original = make_yet(False)
+        path = save_yet(original, tmp_path / "yet_b.npz")
+        loaded = load_yet(path)
+        assert loaded.timestamps is None
+        np.testing.assert_array_equal(loaded.event_ids, original.event_ids)
+
+    def test_extension_added_automatically(self, tmp_path):
+        path = save_yet(make_yet(), tmp_path / "no_extension")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_load_by_basename_without_extension(self, tmp_path):
+        save_yet(make_yet(), tmp_path / "named")
+        loaded = load_yet(tmp_path / "named")
+        assert loaded.n_trials == 3
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_yet(tmp_path / "does_not_exist.npz")
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_yet(make_yet(), tmp_path / "nested" / "dir" / "yet")
+        assert path.exists()

@@ -1,0 +1,91 @@
+"""Tests for repro.yet.table (the Year Event Table container)."""
+
+import numpy as np
+import pytest
+
+from repro.yet.table import YearEventTable
+
+
+def make_yet() -> YearEventTable:
+    return YearEventTable.from_trials(
+        trials=[[1, 2, 3], [4], [], [5, 6]],
+        catalog_size=10,
+        timestamps=[[0.1, 0.2, 0.3], [0.5], [], [0.4, 0.9]],
+    )
+
+
+class TestConstruction:
+    def test_shape_accessors(self):
+        yet = make_yet()
+        assert yet.n_trials == 4
+        assert yet.n_occurrences == 6
+        np.testing.assert_array_equal(yet.events_per_trial, [3, 1, 0, 2])
+        assert yet.mean_events_per_trial == pytest.approx(1.5)
+
+    def test_event_ids_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            YearEventTable.from_trials([[11]], catalog_size=10)
+
+    def test_offsets_validated(self):
+        with pytest.raises(ValueError):
+            YearEventTable(np.array([1, 2]), np.array([0, 1]), catalog_size=10)
+
+    def test_timestamp_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            YearEventTable(np.array([1, 2]), np.array([0, 2]), 10, timestamps=np.array([0.1]))
+
+    def test_timestamps_range_checked(self):
+        with pytest.raises(ValueError):
+            YearEventTable(np.array([1]), np.array([0, 1]), 10, timestamps=np.array([1.5]))
+
+    def test_from_trials_timestamp_length_mismatch(self):
+        with pytest.raises(ValueError):
+            YearEventTable.from_trials([[1, 2]], 10, timestamps=[[0.1]])
+
+
+class TestTrialAccess:
+    def test_trial_views(self):
+        yet = make_yet()
+        np.testing.assert_array_equal(yet.trial(0), [1, 2, 3])
+        np.testing.assert_array_equal(yet.trial(2), [])
+        np.testing.assert_array_equal(yet.trial(3), [5, 6])
+
+    def test_trial_timestamps(self):
+        yet = make_yet()
+        np.testing.assert_allclose(yet.trial_timestamps(3), [0.4, 0.9])
+
+    def test_trial_timestamps_default_zeros(self):
+        yet = YearEventTable.from_trials([[1, 2]], catalog_size=10)
+        np.testing.assert_allclose(yet.trial_timestamps(0), [0.0, 0.0])
+
+    def test_trial_records_tuples(self):
+        records = make_yet().trial_records(0)
+        assert records == [(1, 0.1), (2, 0.2), (3, 0.3)]
+
+    def test_trial_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_yet().trial(4)
+
+    def test_iter_trials(self):
+        indices = [i for i, _ in make_yet().iter_trials()]
+        assert indices == [0, 1, 2, 3]
+
+
+class TestSlicing:
+    def test_slice_trials_preserves_content(self):
+        yet = make_yet()
+        sliced = yet.slice_trials(1, 4)
+        assert sliced.n_trials == 3
+        np.testing.assert_array_equal(sliced.trial(0), yet.trial(1))
+        np.testing.assert_array_equal(sliced.trial(2), yet.trial(3))
+
+    def test_slice_trials_timestamps(self):
+        sliced = make_yet().slice_trials(3, 4)
+        np.testing.assert_allclose(sliced.trial_timestamps(0), [0.4, 0.9])
+
+    def test_slice_invalid_range(self):
+        with pytest.raises(IndexError):
+            make_yet().slice_trials(2, 8)
+
+    def test_memory_bytes_positive(self):
+        assert make_yet().memory_bytes > 0

@@ -1,0 +1,54 @@
+"""Tests for repro.ylt.io (YLT serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.ylt.io import load_ylt, save_ylt
+from repro.ylt.table import YearLossTable
+
+
+def make_ylt(with_occurrence: bool = True) -> YearLossTable:
+    losses = np.array([[1.0, 2.5, 0.0], [3.0, 4.0, 5.5]])
+    occ = np.array([[1.0, 2.0, 0.0], [2.0, 3.0, 4.0]]) if with_occurrence else None
+    return YearLossTable(losses, ["cat-xl", "stop-loss"], occ)
+
+
+class TestYLTRoundTrip:
+    def test_roundtrip_with_occurrence(self, tmp_path):
+        original = make_ylt(True)
+        loaded = load_ylt(save_ylt(original, tmp_path / "ylt_a"))
+        np.testing.assert_allclose(loaded.losses, original.losses)
+        assert loaded.layer_names == original.layer_names
+        np.testing.assert_allclose(loaded.max_occurrence_losses, original.max_occurrence_losses)
+
+    def test_roundtrip_without_occurrence(self, tmp_path):
+        original = make_ylt(False)
+        loaded = load_ylt(save_ylt(original, tmp_path / "ylt_b.npz"))
+        assert loaded.max_occurrence_losses is None
+        np.testing.assert_allclose(loaded.losses, original.losses)
+
+    def test_extension_added(self, tmp_path):
+        path = save_ylt(make_ylt(), tmp_path / "bare_name")
+        assert path.suffix == ".npz"
+
+    def test_load_without_extension(self, tmp_path):
+        save_ylt(make_ylt(), tmp_path / "named")
+        assert load_ylt(tmp_path / "named").n_layers == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_ylt(tmp_path / "absent.npz")
+
+    def test_metrics_survive_roundtrip(self, tmp_path):
+        from repro.ylt.metrics import compute_risk_metrics
+
+        original = make_ylt()
+        loaded = load_ylt(save_ylt(original, tmp_path / "ylt_c"))
+        before = compute_risk_metrics(original.portfolio_losses(), return_periods=(2.0,))
+        after = compute_risk_metrics(loaded.portfolio_losses(), return_periods=(2.0,))
+        assert before.aal == pytest.approx(after.aal)
+        assert before.pml[2.0] == pytest.approx(after.pml[2.0])
+
+    def test_nested_directory_created(self, tmp_path):
+        path = save_ylt(make_ylt(), tmp_path / "deep" / "dir" / "ylt")
+        assert path.exists()

@@ -1,0 +1,96 @@
+"""Tests for repro.ylt.metrics (PML, TVaR, AAL)."""
+
+import numpy as np
+import pytest
+
+from repro.ylt.metrics import (
+    aal,
+    compute_risk_metrics,
+    layer_metrics,
+    pml,
+    portfolio_ep_curve,
+    tvar,
+    value_at_risk,
+)
+from repro.ylt.table import YearLossTable
+
+
+class TestScalarMetrics:
+    def test_aal_is_mean(self):
+        assert aal(np.array([0.0, 10.0, 20.0])) == pytest.approx(10.0)
+
+    def test_aal_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aal(np.array([]))
+
+    def test_value_at_risk_quantile(self):
+        losses = np.arange(101.0)
+        assert value_at_risk(losses, 0.95) == pytest.approx(95.0)
+
+    def test_pml_return_period_quantile(self):
+        losses = np.arange(1.0, 1001.0)
+        # 250-year PML = 1 - 1/250 quantile.
+        assert pml(losses, 250.0) == pytest.approx(np.quantile(losses, 1 - 1 / 250))
+
+    def test_pml_monotone_in_return_period(self):
+        rng = np.random.default_rng(2)
+        losses = rng.gamma(2.0, 1000.0, size=5000)
+        assert pml(losses, 250.0) >= pml(losses, 100.0) >= pml(losses, 10.0)
+
+    def test_pml_requires_at_least_one_year(self):
+        with pytest.raises(ValueError):
+            pml(np.array([1.0]), 0.5)
+
+    def test_tvar_exceeds_var(self):
+        rng = np.random.default_rng(3)
+        losses = rng.gamma(2.0, 1000.0, size=5000)
+        assert tvar(losses, 0.99) >= value_at_risk(losses, 0.99)
+
+    def test_tvar_known_distribution(self):
+        # Uniform losses 1..100: TVaR(0.9) = mean of top 10% ~ 95.5.
+        losses = np.arange(1.0, 101.0)
+        assert tvar(losses, 0.90) == pytest.approx(95.0, abs=1.0)
+
+    def test_tvar_level_validated(self):
+        with pytest.raises(ValueError):
+            tvar(np.array([1.0, 2.0]), 1.5)
+
+
+class TestComputeRiskMetrics:
+    def test_contains_requested_levels(self):
+        rng = np.random.default_rng(4)
+        losses = rng.gamma(2.0, 1000.0, size=2000)
+        metrics = compute_risk_metrics(losses, return_periods=(10.0, 100.0), tvar_levels=(0.95,))
+        assert set(metrics.pml) == {10.0, 100.0}
+        assert set(metrics.tvar) == {0.95}
+        assert metrics.n_trials == 2000
+
+    def test_max_loss_and_std(self):
+        losses = np.array([1.0, 2.0, 3.0, 10.0])
+        metrics = compute_risk_metrics(losses)
+        assert metrics.max_loss == 10.0
+        assert metrics.std == pytest.approx(np.std(losses, ddof=1))
+
+    def test_accessors(self):
+        losses = np.arange(1.0, 101.0)
+        metrics = compute_risk_metrics(losses, return_periods=(50.0,), tvar_levels=(0.9,))
+        assert metrics.pml_at(50.0) == metrics.pml[50.0]
+        assert metrics.tvar_at(0.9) == metrics.tvar[0.9]
+
+    def test_single_trial_std_zero(self):
+        metrics = compute_risk_metrics(np.array([5.0]))
+        assert metrics.std == 0.0
+
+
+class TestYLTHelpers:
+    def test_layer_metrics_per_layer(self):
+        ylt = YearLossTable(np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]), ["a", "b"])
+        metrics = layer_metrics(ylt, return_periods=(2.0,), tvar_levels=(0.5,))
+        assert set(metrics) == {"a", "b"}
+        assert metrics["b"].aal == pytest.approx(5.0)
+
+    def test_portfolio_ep_curve(self):
+        ylt = YearLossTable(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        curve = portfolio_ep_curve(ylt)
+        assert curve.kind == "AEP"
+        assert curve.n_points == 2

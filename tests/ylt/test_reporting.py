@@ -1,0 +1,48 @@
+"""Tests for repro.ylt.reporting."""
+
+import numpy as np
+
+from repro.ylt.ep_curve import aep_curve
+from repro.ylt.metrics import compute_risk_metrics
+from repro.ylt.reporting import format_ep_table, format_layer_comparison, format_metrics_report
+
+
+def sample_metrics():
+    rng = np.random.default_rng(5)
+    return compute_risk_metrics(rng.gamma(2.0, 1e6, size=1000),
+                                return_periods=(10.0, 100.0), tvar_levels=(0.99,))
+
+
+class TestFormatMetricsReport:
+    def test_contains_headline_numbers(self):
+        metrics = sample_metrics()
+        text = format_metrics_report(metrics, title="Test report")
+        assert "Test report" in text
+        assert "average annual loss" in text
+        assert "100 yr" in text
+        assert "99.0%" in text
+
+    def test_trials_count_reported(self):
+        text = format_metrics_report(sample_metrics())
+        assert "1,000" in text
+
+
+class TestFormatEPTable:
+    def test_rows_for_each_return_period(self):
+        curve = aep_curve(np.random.default_rng(6).gamma(2.0, 1e6, size=500))
+        text = format_ep_table(curve, return_periods=(10, 50, 100))
+        assert text.count("yr") == 3
+        assert "AEP curve" in text
+
+
+class TestFormatLayerComparison:
+    def test_all_layers_listed(self):
+        metrics = {"layer-a": sample_metrics(), "layer-b": sample_metrics()}
+        text = format_layer_comparison(metrics, return_period=100.0)
+        assert "layer-a" in text and "layer-b" in text
+        assert "PML 100yr" in text
+
+    def test_missing_return_period_shows_na(self):
+        metrics = {"layer-a": sample_metrics()}
+        text = format_layer_comparison(metrics, return_period=333.0)
+        assert "n/a" in text
