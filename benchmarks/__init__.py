@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+The package marker lets the benchmark modules import shared workload
+builders from ``.conftest`` when the harness is run from the repo root
+(``pytest benchmarks/ --benchmark-only``).
+"""

@@ -1,0 +1,110 @@
+"""Fused multi-layer batch path vs the per-layer loop.
+
+The paper's headline results (Table 1, Fig. 2a) are about scaling the
+aggregate analysis across many layers; this harness measures what the fused
+``(n_layers, catalog_size)`` stacked gather buys over re-gathering the YET
+against each layer's dense matrix separately.  Two kinds of measurements:
+
+* ``test_batch_layers_*`` — pytest-benchmark sweeps of the vectorized and
+  chunked backends over a widening layer axis, fused vs per-layer;
+* ``test_fused_speedup_at_16_layers`` — a plain assertion (runs without
+  ``--benchmark-only``) that the fused vectorized path is at least 1.5x
+  faster than the per-layer loop at 16 layers, the acceptance criterion of
+  the fused-kernel work.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+
+from .conftest import build_workload, run_engine
+
+LAYER_SWEEP = (4, 16, 32)
+
+#: Smaller trial axis than the main sweeps: the layer axis is what grows here.
+BATCH_TRIALS = 800
+BATCH_EVENTS = 60
+BATCH_ELTS = 8
+BATCH_CATALOG = 20_000
+
+
+def _workload(n_layers: int):
+    return build_workload(
+        n_trials=BATCH_TRIALS,
+        events_per_trial=BATCH_EVENTS,
+        n_layers=n_layers,
+        elts_per_layer=BATCH_ELTS,
+        catalog_size=BATCH_CATALOG,
+    )
+
+
+def _prime(workload) -> None:
+    """Materialise the per-layer matrix caches so only pricing is measured."""
+    for layer in workload.program.layers:
+        layer.loss_matrix()
+        layer.loss_matrix().combined_net_losses()
+
+
+@pytest.mark.benchmark(group="batch-layers-vectorized")
+@pytest.mark.parametrize("fused", [False, True], ids=["per-layer", "fused"])
+@pytest.mark.parametrize("n_layers", LAYER_SWEEP)
+def test_batch_layers_vectorized(benchmark, n_layers, fused):
+    workload = _workload(n_layers)
+    _prime(workload)
+    config = EngineConfig(backend="vectorized", fused_layers=fused)
+    result = benchmark(lambda: run_engine(workload, config))
+    benchmark.extra_info["n_layers"] = n_layers
+    benchmark.extra_info["fused"] = fused
+    benchmark.extra_info["trials_per_second"] = result.trials_per_second
+
+
+@pytest.mark.benchmark(group="batch-layers-chunked")
+@pytest.mark.parametrize("fused", [False, True], ids=["per-layer", "fused"])
+@pytest.mark.parametrize("n_layers", (4, 16))
+def test_batch_layers_chunked(benchmark, n_layers, fused):
+    workload = _workload(n_layers)
+    _prime(workload)
+    config = EngineConfig(backend="chunked", fused_layers=fused, chunk_events=8192)
+    result = benchmark(lambda: run_engine(workload, config))
+    benchmark.extra_info["n_layers"] = n_layers
+    benchmark.extra_info["fused"] = fused
+    benchmark.extra_info["trials_per_second"] = result.trials_per_second
+
+
+def _best_of(n_repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n_repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fused_speedup_at_16_layers():
+    """Acceptance: fused vectorized path >= 1.5x the per-layer loop at 16 layers."""
+    workload = _workload(16)
+    _prime(workload)
+    fused_config = EngineConfig(backend="vectorized", fused_layers=True)
+    perlayer_config = EngineConfig(backend="vectorized", fused_layers=False)
+
+    # Warm-up (and a correctness cross-check while we are at it).
+    fused_result = run_engine(workload, fused_config)
+    perlayer_result = run_engine(workload, perlayer_config)
+    np.testing.assert_allclose(
+        fused_result.ylt.losses, perlayer_result.ylt.losses, rtol=1e-9
+    )
+
+    fused_seconds = _best_of(5, lambda: run_engine(workload, fused_config))
+    perlayer_seconds = _best_of(5, lambda: run_engine(workload, perlayer_config))
+    speedup = perlayer_seconds / fused_seconds
+    print(
+        f"\n16 layers x {BATCH_TRIALS} trials: per-layer {perlayer_seconds * 1e3:.1f} ms, "
+        f"fused {fused_seconds * 1e3:.1f} ms -> {speedup:.2f}x"
+    )
+    assert speedup >= 1.5, (
+        f"fused path only {speedup:.2f}x faster than per-layer at 16 layers "
+        f"(expected >= 1.5x)"
+    )

@@ -7,7 +7,9 @@ This is the 60-second tour of the library:
    a Year Event Table) from a single seed,
 2. run the Aggregate Risk Engine with the default (vectorized) backend,
 3. derive the standard portfolio risk metrics (AAL, PML, TVaR) from the
-   resulting Year Loss Table and print a report.
+   resulting Year Loss Table and print a report,
+4. batch-price several candidate-term variants of the program in one
+   ``run_many`` invocation (the fused multi-layer path).
 
 Run with::
 
@@ -17,6 +19,8 @@ Run with::
 from __future__ import annotations
 
 from repro import AggregateRiskEngine, EngineConfig
+from repro.financial.terms import LayerTerms
+from repro.portfolio import ReinsuranceProgram, batch_quote
 from repro.workloads import WorkloadGenerator, bench_spec
 from repro.ylt.metrics import compute_risk_metrics
 from repro.ylt.reporting import format_metrics_report
@@ -52,6 +56,33 @@ def main() -> None:
     metrics = compute_risk_metrics(year_losses)
     print()
     print(format_metrics_report(metrics, title="Portfolio risk metrics"))
+
+    # ------------------------------------------------------------------ #
+    # 4. Batch pricing: quote several candidate-term variants in ONE engine
+    #    invocation.  run_many concatenates the programs' layers and prices
+    #    them all through the fused multi-layer kernel in a single pass over
+    #    the Year Event Table; batch_quote turns the per-program year losses
+    #    into technical premiums.
+    # ------------------------------------------------------------------ #
+    variants = []
+    for scale in (0.9, 1.0, 1.1):
+        layers = [
+            lyr.with_terms(
+                LayerTerms(
+                    occurrence_retention=lyr.terms.occurrence_retention * scale,
+                    occurrence_limit=lyr.terms.occurrence_limit,
+                    aggregate_retention=lyr.terms.aggregate_retention * scale,
+                    aggregate_limit=lyr.terms.aggregate_limit,
+                )
+            )
+            for lyr in workload.program.layers
+        ]
+        variants.append(ReinsuranceProgram(layers, name=f"retention x{scale:.1f}"))
+
+    quotes = batch_quote(variants, workload.yet, engine=AggregateRiskEngine())
+    print("\nBatch pricing (one fused engine invocation, 3 term variants):")
+    for quote in quotes:
+        print("  ", quote.summary())
 
 
 if __name__ == "__main__":

@@ -4,8 +4,14 @@ Four subcommands cover the everyday operations of the library::
 
     are generate --preset bench --out yet.npz     # simulate & store a YET
     are run --preset bench --backend vectorized   # run an aggregate analysis
+    are run --preset bench --batch 8              # batch-price 8 term variants
     are metrics --preset bench                    # run + print PML/TVaR report
     are project --trials 1000000                  # full-scale runtime projection
+
+``run --batch N`` is the batched real-time pricing scenario: N candidate-term
+variants of the preset's program are priced in *one* engine invocation (their
+layers all flow through the fused multi-layer kernel together) and a quote
+line is printed per variant.
 
 The CLI operates on the synthetic workload presets; it exists so that the
 examples and benchmarks have a scriptable entry point (and so that a user can
@@ -21,7 +27,11 @@ from typing import Sequence
 from repro.core.config import BACKEND_NAMES, EngineConfig
 from repro.core.engine import AggregateRiskEngine
 from repro.core.projection import CPUCostModel, project_summary
+from repro.financial.terms import LayerTerms
 from repro.parallel.device import WorkloadShape
+from repro.portfolio.pricing import price_program
+from repro.portfolio.program import ReinsuranceProgram
+from repro.utils.timing import Timer
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.presets import preset, preset_names
 from repro.yet.io import save_yet
@@ -29,6 +39,13 @@ from repro.ylt.metrics import compute_risk_metrics
 from repro.ylt.reporting import format_metrics_report
 
 __all__ = ["main", "build_parser"]
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +63,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run an aggregate analysis on a preset workload")
     _add_run_arguments(run)
+    run.add_argument(
+        "--batch",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help="batch mode: price N candidate-term variants of the preset program "
+             "in one fused engine invocation and print a quote per variant "
+             "(0 = normal single run)",
+    )
 
     metrics = subparsers.add_parser("metrics", help="run an analysis and print the risk report")
     _add_run_arguments(metrics)
@@ -99,9 +125,59 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _candidate_variants(program: ReinsuranceProgram, n: int) -> list[ReinsuranceProgram]:
+    """N candidate-term variants of a program for the batch-pricing scenario.
+
+    Variant ``i`` scales every layer's occurrence and aggregate retentions by
+    ``1 + 0.25 * i`` (variant 0 is the program as written).  The layers'
+    cached dense loss matrices are shared across variants — only the layer
+    terms differ — so the batch run prices all variants from one stacked
+    gather without rebuilding any matrix.
+    """
+    # with_terms only shares a matrix that already exists, so build each
+    # layer's dense matrix (and its term-netted combined row) before cloning.
+    for layer in program.layers:
+        layer.loss_matrix().combined_net_losses()
+    variants = []
+    for i in range(n):
+        scale = 1.0 + 0.25 * i
+        layers = [
+            layer.with_terms(
+                LayerTerms(
+                    occurrence_retention=layer.terms.occurrence_retention * scale,
+                    occurrence_limit=layer.terms.occurrence_limit,
+                    aggregate_retention=layer.terms.aggregate_retention * scale,
+                    aggregate_limit=layer.terms.aggregate_limit,
+                )
+            )
+            for layer in program.layers
+        ]
+        variants.append(
+            ReinsuranceProgram(layers, name=f"{program.name}@retx{scale:.2f}")
+        )
+    return variants
+
+
 def _command_run(args: argparse.Namespace) -> int:
     workload = _build_workload(args)
     engine = AggregateRiskEngine(_build_config(args))
+    if args.batch > 0:
+        variants = _candidate_variants(workload.program, args.batch)
+        wall = Timer().start()
+        results = engine.run_many(variants, workload.yet)
+        quotes = [
+            price_program(variant, result.ylt)
+            for variant, result in zip(variants, results)
+        ]
+        seconds = wall.stop()
+        print(f"workload : {workload.summary()}")
+        print(f"batch    : {len(variants)} variants x {workload.program.n_layers} layers "
+              f"priced in one {engine.backend_name} invocation ({seconds:.4f}s)")
+        for quote in quotes:
+            print(f"  {quote.summary()}")
+        if results[0].phase_breakdown is not None:
+            print(results[0].phase_breakdown.format_table())
+        return 0
     result = engine.run(workload.program, workload.yet)
     print(f"workload : {workload.summary()}")
     print(f"result   : {result.summary()}")

@@ -8,6 +8,15 @@ same idea on the CPU: the flattened event stream is processed in chunks of
 ``EngineConfig.chunk_events`` occurrences, bounding the temporary buffer to
 ``n_elts x chunk_events`` doubles (and, as a pleasant side effect, keeping it
 inside the last-level cache for realistic chunk sizes).
+
+With ``EngineConfig.fused_layers`` (the default) the chunking happens inside
+the fused multi-layer kernel: all layers are gathered from the stacked
+``(n_layers, catalog_size)`` loss matrix chunk by chunk and the per-trial
+reductions are accumulated as each chunk is processed, so the working set is
+``n_layers x chunk_events`` doubles (plus the output tables) and each chunk
+of the YET is touched once for the whole program instead of once per layer.
+The streaming accumulation needs the telescoped aggregate shortcut; the
+``use_aggregate_shortcut=False`` ablation falls back to the per-layer loop.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import EngineConfig
-from repro.core.kernels import layer_trial_losses_chunked
+from repro.core.kernels import layer_trial_losses_batch, layer_trial_losses_chunked
 from repro.core.results import EngineResult
 from repro.parallel.device import WorkloadShape
 from repro.portfolio.layer import Layer
@@ -37,35 +46,45 @@ class ChunkedEngine:
 
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
         """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
-        if isinstance(program, Layer):
-            program = ReinsuranceProgram([program], name=program.name or "single-layer")
+        program = ReinsuranceProgram.wrap(program)
         config = self.config
         timer = PhaseTimer(enabled=config.record_phases)
         wall = Timer().start()
 
         n_trials = yet.n_trials
-        losses = np.zeros((program.n_layers, n_trials), dtype=np.float64)
-        max_occ = (
-            np.zeros((program.n_layers, n_trials), dtype=np.float64)
-            if config.record_max_occurrence
-            else None
-        )
-
-        for layer_index, layer in enumerate(program.layers):
-            matrix = layer.loss_matrix()
-            year_losses, trial_max = layer_trial_losses_chunked(
-                matrix,
+        if config.fused_layers and config.use_aggregate_shortcut:
+            losses, max_occ = layer_trial_losses_batch(
+                [layer.loss_matrix() for layer in program.layers],
                 yet.event_ids,
                 yet.trial_offsets,
-                layer.terms,
-                chunk_events=config.chunk_events,
+                [layer.terms for layer in program.layers],
                 use_shortcut=config.use_aggregate_shortcut,
                 record_max_occurrence=config.record_max_occurrence,
                 timer=timer,
+                chunk_events=config.chunk_events,
             )
-            losses[layer_index] = year_losses
-            if max_occ is not None and trial_max is not None:
-                max_occ[layer_index] = trial_max
+        else:
+            losses = np.zeros((program.n_layers, n_trials), dtype=np.float64)
+            max_occ = (
+                np.zeros((program.n_layers, n_trials), dtype=np.float64)
+                if config.record_max_occurrence
+                else None
+            )
+            for layer_index, layer in enumerate(program.layers):
+                matrix = layer.loss_matrix()
+                year_losses, trial_max = layer_trial_losses_chunked(
+                    matrix,
+                    yet.event_ids,
+                    yet.trial_offsets,
+                    layer.terms,
+                    chunk_events=config.chunk_events,
+                    use_shortcut=config.use_aggregate_shortcut,
+                    record_max_occurrence=config.record_max_occurrence,
+                    timer=timer,
+                )
+                losses[layer_index] = year_losses
+                if max_occ is not None and trial_max is not None:
+                    max_occ[layer_index] = trial_max
 
         wall_seconds = wall.stop()
         shape = WorkloadShape(
@@ -80,5 +99,8 @@ class ChunkedEngine:
             wall_seconds=wall_seconds,
             workload_shape=shape,
             phase_breakdown=timer.breakdown() if config.record_phases else None,
-            details={"chunk_events": config.chunk_events},
+            details={
+                "chunk_events": config.chunk_events,
+                "fused_layers": config.fused_layers and config.use_aggregate_shortcut,
+            },
         )

@@ -39,6 +39,14 @@ class EngineConfig:
         Apply the aggregate terms with the telescoped shortcut (True) or with
         the paper's full cumulative pass (False).  Both produce identical year
         losses; the flag exists for the ablation benchmark.
+    fused_layers:
+        Price all layers of the program through the fused multi-layer batch
+        kernel (one stacked ``(n_layers, catalog_size)`` gather per YET pass)
+        instead of looping over the layers one at a time.  Honoured by the
+        vectorized, chunked and multicore backends; the sequential and gpu
+        backends always use their per-layer reference paths.  Both paths
+        produce identical year losses; disabling exists for the
+        fused-vs-per-layer benchmark and conformance tests.
     record_max_occurrence:
         Record each trial's largest occurrence loss (needed for OEP curves);
         small extra cost.
@@ -74,6 +82,7 @@ class EngineConfig:
     backend: str = "vectorized"
     elt_representation: str = "direct"
     use_aggregate_shortcut: bool = True
+    fused_layers: bool = True
     record_max_occurrence: bool = True
     record_phases: bool = False
     chunk_events: int = 8192

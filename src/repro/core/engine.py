@@ -9,14 +9,27 @@ an :class:`~repro.core.config.EngineConfig`.  Typical use::
     result = engine.run(program, yet)
     year_losses = result.ylt.layer(0)
 
+Many programs (e.g. an underwriter's candidate-term variants, or several
+cedants' submissions over one simulated event set) can be priced in a single
+engine invocation with :meth:`AggregateRiskEngine.run_many` — their layers
+are concatenated, the whole batch flows through the fused multi-layer kernel
+in one pass over the Year Event Table, and the result is split back per
+program::
+
+    engine = AggregateRiskEngine()          # fused_layers=True by default
+    results = engine.run_many([program_a, program_b], yet)
+    premium_basis = results[0].ylt.layer(0)  # program_a's first layer
+
 The facade also provides :meth:`AggregateRiskEngine.compare_backends`, which
-runs the same workload through several backends and verifies that they agree —
-the programmatic form of the library's core correctness guarantee.
+runs the same workload through several backends (optionally through both the
+fused multi-layer path and the per-layer path of each backend) and verifies
+that they agree — the programmatic form of the library's core correctness
+guarantee.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
 
 import numpy as np
 
@@ -73,6 +86,54 @@ class AggregateRiskEngine:
         """Run the analysis and return only the Year Loss Table."""
         return self.run(program, yet).ylt
 
+    def run_many(
+        self,
+        programs: Sequence[ReinsuranceProgram | Layer],
+        yet: YearEventTable,
+    ) -> List[EngineResult]:
+        """Price many programs over one YET in a single engine invocation.
+
+        The programs' layers are concatenated into one combined program and
+        analysed in one backend run — with the default ``fused_layers``
+        configuration that means a single stacked gather covering *every*
+        layer of *every* program per pass over the Year Event Table.  The
+        combined result is then split back into one :class:`EngineResult`
+        per input program (each carrying the shared run's wall time and a
+        ``details["batch"]`` entry recording the batch shape).
+
+        All programs must reference the same event-catalog size (they are
+        priced against the same YET).  Layers are not deduplicated: if two
+        programs share a layer object its dense matrix is still only built
+        once thanks to the layer-level cache.
+        """
+        normalised = [ReinsuranceProgram.wrap(program) for program in programs]
+        if not normalised:
+            raise ValueError("run_many needs at least one program")
+
+        all_layers = [layer for program in normalised for layer in program.layers]
+        combined = ReinsuranceProgram(all_layers, name="batch")
+        result = self.run(combined, yet)
+
+        results: List[EngineResult] = []
+        start = 0
+        for index, program in enumerate(normalised):
+            stop = start + program.n_layers
+            results.append(
+                result.for_layer_subset(
+                    range(start, stop),
+                    extra_details={
+                        "batch": {
+                            "program": program.name,
+                            "index": index,
+                            "n_programs": len(normalised),
+                            "total_layers": combined.n_layers,
+                        }
+                    },
+                )
+            )
+            start = stop
+        return results
+
     # ------------------------------------------------------------------ #
     # Cross-backend validation
     # ------------------------------------------------------------------ #
@@ -84,28 +145,47 @@ class AggregateRiskEngine:
         base_config: EngineConfig | None = None,
         rtol: float = 1e-9,
         atol: float = 1e-6,
+        check_fused: bool = False,
     ) -> Mapping[str, EngineResult]:
         """Run several backends on the same workload and assert agreement.
 
-        Returns the per-backend results; raises ``AssertionError`` with a
-        descriptive message if any backend's YLT deviates from the first
-        backend's YLT beyond the tolerances.
+        With ``check_fused=True`` every backend is additionally run with
+        ``fused_layers`` inverted relative to ``base_config`` — i.e. the fused
+        multi-layer batch path and the per-layer loop are both exercised and
+        must agree.  The extra results are stored under ``"<name>:fused"`` /
+        ``"<name>:per-layer"`` keys, which reflect the *requested* config:
+        backends without a fused path (sequential, gpu) — and configs where
+        the fused path is unavailable, such as chunked with
+        ``use_aggregate_shortcut=False`` — simply run their reference path
+        twice; check ``result.details["fused_layers"]`` for the path a run
+        actually took.
+
+        Returns the per-run results; raises ``AssertionError`` with a
+        descriptive message if any run's YLT deviates from the first run's
+        YLT beyond the tolerances.
         """
         base = base_config if base_config is not None else EngineConfig()
+        runs: List[tuple[str, EngineConfig]] = []
+        for name in backends:
+            runs.append((name, base.with_backend(name)))
+            if check_fused:
+                flipped = base.with_backend(name, fused_layers=not base.fused_layers)
+                suffix = "fused" if flipped.fused_layers else "per-layer"
+                runs.append((f"{name}:{suffix}", flipped))
+
         results: Dict[str, EngineResult] = {}
         reference_name: str | None = None
-        for name in backends:
-            engine = AggregateRiskEngine(base.with_backend(name))
-            results[name] = engine.run(program, yet)
+        for key, config in runs:
+            results[key] = AggregateRiskEngine(config).run(program, yet)
             if reference_name is None:
-                reference_name = name
+                reference_name = key
                 continue
             reference = results[reference_name].ylt.losses
-            candidate = results[name].ylt.losses
+            candidate = results[key].ylt.losses
             if not np.allclose(reference, candidate, rtol=rtol, atol=atol):
                 worst = float(np.max(np.abs(reference - candidate)))
                 raise AssertionError(
-                    f"backend {name!r} disagrees with {reference_name!r}: "
+                    f"backend {key!r} disagrees with {reference_name!r}: "
                     f"max abs difference {worst:.3e}"
                 )
         return results

@@ -58,8 +58,7 @@ class GPUSimulatedEngine:
 
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
         """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
-        if isinstance(program, Layer):
-            program = ReinsuranceProgram([program], name=program.name or "single-layer")
+        program = ReinsuranceProgram.wrap(program)
         config = self.config
         kernel_config = self.kernel_config()
         timer = PhaseTimer(enabled=config.record_phases)
@@ -141,6 +140,7 @@ class GPUSimulatedEngine:
                 "chunk_size": config.gpu_chunk_size,
                 "optimised": config.gpu_optimised,
                 "device": self.device.spec.name,
+                "fused_layers": False,
             },
         )
 

@@ -9,7 +9,7 @@ the backends differ only in *how* they partition the work, not in the maths.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -22,15 +22,30 @@ from repro.core.phases import (
 from repro.elt.combined import LayerLossMatrix
 from repro.financial.policies import (
     aggregate_terms_shortcut,
+    aggregate_terms_shortcut_batch,
     apply_aggregate_terms_cumulative,
+    apply_aggregate_terms_cumulative_batch,
     apply_financial_terms_matrix,
     apply_occurrence_terms,
+    apply_occurrence_terms_batch,
+    clip_aggregate_totals,
 )
-from repro.financial.terms import LayerTerms
-from repro.utils.arrays import segment_max
+from repro.financial.terms import LayerTerms, LayerTermsVectors
+from repro.utils.arrays import (
+    segment_max,
+    segment_max_2d,
+    segment_sum_2d,
+    validate_offsets,
+)
 from repro.utils.timing import PhaseTimer
 
-__all__ = ["combined_event_losses", "layer_trial_losses", "layer_trial_losses_chunked"]
+__all__ = [
+    "combined_event_losses",
+    "layer_trial_losses",
+    "layer_trial_losses_chunked",
+    "build_layer_loss_stack",
+    "layer_trial_losses_batch",
+]
 
 
 def combined_event_losses(
@@ -103,6 +118,189 @@ def layer_trial_losses(
         max_occurrence = (
             segment_max(occurrence, trial_offsets) if record_max_occurrence else None
         )
+    return year_losses, max_occurrence
+
+
+def build_layer_loss_stack(
+    matrices: Sequence[LayerLossMatrix],
+    timer: PhaseTimer | None = None,
+) -> np.ndarray:
+    """Stack every layer's term-netted dense losses into one matrix.
+
+    Row ``i`` of the returned ``(n_layers, catalog_size)`` float64 matrix is
+    layer ``i``'s per-catalog-entry loss net of its ELTs' financial terms,
+    already combined across the layer's ELTs
+    (:meth:`~repro.elt.combined.LayerLossMatrix.combined_net_losses`).  The
+    financial terms depend only on the dense loss values, never on the trial,
+    so applying them to the catalog axis once — instead of to every gathered
+    occurrence, layer by layer — is what makes the fused multi-layer path
+    cheap: the per-trial work left is a single ``(n_layers, n_events)``
+    gather plus the layer terms.
+    """
+    if not matrices:
+        raise ValueError("at least one layer loss matrix is required")
+    catalog_sizes = {matrix.catalog_size for matrix in matrices}
+    if len(catalog_sizes) != 1:
+        raise ValueError(
+            f"all layers must share one catalog size, got {sorted(catalog_sizes)}"
+        )
+    timer = timer if timer is not None else PhaseTimer(enabled=False)
+    catalog_size = catalog_sizes.pop()
+    stack = np.empty((len(matrices), catalog_size), dtype=np.float64)
+    with timer.phase(PHASE_FINANCIAL_TERMS):
+        for row, matrix in enumerate(matrices):
+            stack[row] = matrix.combined_net_losses()
+    return stack
+
+
+def layer_trial_losses_batch(
+    matrices: Sequence[LayerLossMatrix],
+    event_ids: np.ndarray,
+    trial_offsets: np.ndarray,
+    terms: Sequence[LayerTerms] | LayerTermsVectors,
+    use_shortcut: bool = True,
+    record_max_occurrence: bool = True,
+    timer: PhaseTimer | None = None,
+    chunk_events: int | None = None,
+    stack: np.ndarray | None = None,
+) -> Tuple[np.ndarray, np.ndarray | None]:
+    """Year losses of *all* layers in one fused pass over the YET.
+
+    Instead of re-gathering the event-id array against each layer's dense
+    loss matrix separately (the per-layer loop of :func:`layer_trial_losses`),
+    the layers' term-netted dense losses are stacked into one
+    ``(n_layers, catalog_size)`` matrix, the whole YET is gathered from it
+    with a single fancy-indexing operation, and the occurrence/aggregate
+    terms are applied as broadcast expressions over the resulting
+    ``(n_layers, n_events)`` matrix.
+
+    Parameters
+    ----------
+    matrices:
+        One dense loss matrix per layer (ignored when ``stack`` is given).
+    terms:
+        Per-layer :class:`LayerTerms` (or an already-stacked
+        :class:`LayerTermsVectors`).
+    chunk_events:
+        When given, the stream is processed in chunks of this many event
+        occurrences with per-trial reductions accumulated chunk by chunk, so
+        the working set stays bounded at ``(n_layers, chunk_events)`` doubles
+        plus the outputs (the fused analogue of
+        :func:`layer_trial_losses_chunked`).  Chunked accumulation sums each
+        trial from per-chunk partials, so totals can differ from the
+        unchunked gather in the last couple of bits (well inside 1e-9
+        relative); only the shortcut aggregate pass supports it
+        (``use_shortcut=False`` with ``chunk_events`` raises).
+    stack:
+        Optional precomputed :func:`build_layer_loss_stack` result; pass it
+        when the same layers are priced repeatedly (or when the stack is
+        shared with worker processes).
+
+    Returns
+    -------
+    (year_losses, max_occurrence_losses):
+        ``year_losses`` has shape ``(n_layers, n_trials)``;
+        ``max_occurrence_losses`` matches it, or is ``None`` unless
+        ``record_max_occurrence`` is set.
+    """
+    timer = timer if timer is not None else PhaseTimer(enabled=False)
+    vectors = terms if isinstance(terms, LayerTermsVectors) else LayerTermsVectors.from_terms(terms)
+    if stack is None:
+        stack = build_layer_loss_stack(matrices, timer)
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 2:
+        raise ValueError(f"stack must be 2-D (n_layers, catalog_size), got shape {stack.shape}")
+    if stack.shape[0] != vectors.n_layers:
+        raise ValueError(
+            f"stack has {stack.shape[0]} layers but terms describe {vectors.n_layers}"
+        )
+    catalog_size = stack.shape[1]
+
+    with timer.phase(PHASE_EVENT_FETCH):
+        ids = np.ascontiguousarray(event_ids, dtype=np.int64)
+    if ids.size and (ids.min() < 0 or ids.max() >= catalog_size):
+        raise IndexError("event ids out of range of the catalog")
+
+    if chunk_events is not None:
+        if chunk_events <= 0:
+            raise ValueError(f"chunk_events must be positive, got {chunk_events}")
+        if not use_shortcut:
+            raise ValueError(
+                "the cumulative aggregate pass needs whole trials in memory; "
+                "chunk_events requires use_shortcut=True"
+            )
+        return _layer_trial_losses_batch_streamed(
+            stack, ids, trial_offsets, vectors, int(chunk_events),
+            record_max_occurrence, timer,
+        )
+
+    with timer.phase(PHASE_ELT_LOOKUP):
+        combined = stack[:, ids]
+
+    with timer.phase(PHASE_LAYER_TERMS):
+        # The gather is a fresh scratch buffer, so the occurrence terms can
+        # transform it in place — peak memory stays at one full-size matrix.
+        occurrence = apply_occurrence_terms_batch(combined, vectors, out=combined)
+        if use_shortcut:
+            year_losses = aggregate_terms_shortcut_batch(occurrence, trial_offsets, vectors)
+        else:
+            year_losses = apply_aggregate_terms_cumulative_batch(
+                occurrence, trial_offsets, vectors
+            )
+        max_occurrence = (
+            segment_max_2d(occurrence, trial_offsets) if record_max_occurrence else None
+        )
+    return year_losses, max_occurrence
+
+
+def _layer_trial_losses_batch_streamed(
+    stack: np.ndarray,
+    ids: np.ndarray,
+    trial_offsets: np.ndarray,
+    vectors: LayerTermsVectors,
+    chunk_events: int,
+    record_max_occurrence: bool,
+    timer: PhaseTimer,
+) -> Tuple[np.ndarray, np.ndarray | None]:
+    """Bounded-memory fused pass: accumulate per-trial reductions per chunk.
+
+    Trials may straddle chunk boundaries, so per-trial occurrence totals are
+    summed from per-chunk partial segment sums (and maxima merged with
+    ``np.maximum``); the aggregate terms are applied once at the end on the
+    accumulated totals.
+    """
+    offsets = validate_offsets(np.asarray(trial_offsets), ids.shape[0])
+    n_layers = stack.shape[0]
+    n_trials = offsets.size - 1
+    totals = np.zeros((n_layers, n_trials), dtype=np.float64)
+    max_occurrence = (
+        np.zeros((n_layers, n_trials), dtype=np.float64)
+        if record_max_occurrence
+        else None
+    )
+
+    total_events = ids.shape[0]
+    for start in range(0, total_events, chunk_events):
+        stop = min(start + chunk_events, total_events)
+        with timer.phase(PHASE_ELT_LOOKUP):
+            gathered = stack[:, ids[start:stop]]
+        with timer.phase(PHASE_LAYER_TERMS):
+            occurrence = apply_occurrence_terms_batch(gathered, vectors, out=gathered)
+            # Trials overlapping [start, stop): first trial containing the
+            # chunk's first event through the last trial with an event in it.
+            t0 = int(np.searchsorted(offsets, start, side="right")) - 1
+            t1 = int(np.searchsorted(offsets, stop, side="left"))
+            local = np.clip(offsets[t0 : t1 + 1] - start, 0, stop - start)
+            totals[:, t0:t1] += segment_sum_2d(occurrence, local)
+            if max_occurrence is not None:
+                np.maximum(
+                    max_occurrence[:, t0:t1],
+                    segment_max_2d(occurrence, local),
+                    out=max_occurrence[:, t0:t1],
+                )
+
+    with timer.phase(PHASE_LAYER_TERMS):
+        year_losses = clip_aggregate_totals(totals, vectors)
     return year_losses, max_occurrence
 
 

@@ -22,9 +22,13 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.config import EngineConfig
-from repro.core.kernels import layer_trial_losses
+from repro.core.kernels import (
+    build_layer_loss_stack,
+    layer_trial_losses,
+    layer_trial_losses_batch,
+)
 from repro.core.results import EngineResult
-from repro.financial.terms import LayerTerms
+from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.elt.combined import LayerLossMatrix
 from repro.parallel.device import WorkloadShape
 from repro.parallel.executor import ParallelConfig, TrialBlockExecutor
@@ -47,19 +51,30 @@ class MulticoreContext:
     event_ids, trial_offsets:
         The YET's flattened arrays.
     matrices:
-        One dense loss matrix per layer.
+        One dense loss matrix per layer (per-layer path; ``None`` when the
+        fused stack is used instead).
     terms:
-        One :class:`LayerTerms` per layer.
+        One :class:`LayerTerms` per layer (per-layer path; empty when the
+        fused stack carries ``terms_vectors`` instead).
     use_shortcut, record_max_occurrence:
         Engine options forwarded to the kernel.
+    stack:
+        Precomputed fused ``(n_layers, catalog_size)`` loss stack
+        (:func:`~repro.core.kernels.build_layer_loss_stack`); when present
+        each worker prices *all* layers of its trial block through the fused
+        batch kernel instead of looping over the layers.
+    terms_vectors:
+        Structure-of-arrays layer terms; always set together with ``stack``.
     """
 
     event_ids: np.ndarray
     trial_offsets: np.ndarray
-    matrices: Sequence[LayerLossMatrix]
+    matrices: Sequence[LayerLossMatrix] | None
     terms: Sequence[LayerTerms]
     use_shortcut: bool
     record_max_occurrence: bool
+    stack: np.ndarray | None = None
+    terms_vectors: LayerTermsVectors | None = None
 
 
 def _analyse_block(context: MulticoreContext, block: TrialRange) -> tuple[int, np.ndarray, np.ndarray | None]:
@@ -73,6 +88,18 @@ def _analyse_block(context: MulticoreContext, block: TrialRange) -> tuple[int, n
     hi = int(context.trial_offsets[stop])
     event_ids = context.event_ids[lo:hi]
     offsets = context.trial_offsets[start : stop + 1] - lo
+
+    if context.stack is not None:
+        losses, max_occ = layer_trial_losses_batch(
+            (),
+            event_ids,
+            offsets,
+            context.terms_vectors,
+            use_shortcut=context.use_shortcut,
+            record_max_occurrence=context.record_max_occurrence,
+            stack=context.stack,
+        )
+        return block.start, losses, max_occ
 
     n_layers = len(context.matrices)
     losses = np.zeros((n_layers, block.size), dtype=np.float64)
@@ -106,23 +133,38 @@ class MulticoreEngine:
 
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
         """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
-        if isinstance(program, Layer):
-            program = ReinsuranceProgram([program], name=program.name or "single-layer")
+        program = ReinsuranceProgram.wrap(program)
         config = self.config
         wall = Timer().start()
 
-        # Preprocessing: build the dense matrices once in the parent so that
-        # forked workers inherit them without copying.
+        # Preprocessing: build the dense matrices (and, fused, the stacked
+        # term-netted loss matrix) once in the parent so that forked workers
+        # inherit them without copying.  The fused stack is also what a
+        # ``spawn`` pool pickles: at n_layers x catalog_size doubles it is the
+        # smaller and already term-netted representation, so workers skip the
+        # per-gather financial-term arithmetic entirely.
         matrices = [layer.loss_matrix() for layer in program.layers]
         terms = [layer.terms for layer in program.layers]
-        context = MulticoreContext(
-            event_ids=yet.event_ids,
-            trial_offsets=yet.trial_offsets,
-            matrices=matrices,
-            terms=terms,
-            use_shortcut=config.use_aggregate_shortcut,
-            record_max_occurrence=config.record_max_occurrence,
-        )
+        if config.fused_layers:
+            context = MulticoreContext(
+                event_ids=yet.event_ids,
+                trial_offsets=yet.trial_offsets,
+                matrices=None,
+                terms=(),
+                use_shortcut=config.use_aggregate_shortcut,
+                record_max_occurrence=config.record_max_occurrence,
+                stack=build_layer_loss_stack(matrices),
+                terms_vectors=LayerTermsVectors.from_terms(terms),
+            )
+        else:
+            context = MulticoreContext(
+                event_ids=yet.event_ids,
+                trial_offsets=yet.trial_offsets,
+                matrices=matrices,
+                terms=terms,
+                use_shortcut=config.use_aggregate_shortcut,
+                record_max_occurrence=config.record_max_occurrence,
+            )
 
         parallel_config = ParallelConfig(
             n_workers=config.n_workers,
@@ -166,5 +208,6 @@ class MulticoreEngine:
                 "scheduling": str(config.scheduling),
                 "oversubscription": config.oversubscription,
                 "n_blocks": schedule.n_blocks,
+                "fused_layers": config.fused_layers,
             },
         )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
 from repro.parallel.device import KernelEstimate, WorkloadShape
@@ -63,6 +63,49 @@ class EngineResult:
         if self.wall_seconds <= 0:
             return float("inf")
         return self.n_trials * self.n_layers / self.wall_seconds
+
+    def for_layer_subset(
+        self,
+        indices: Sequence[int],
+        extra_details: Mapping[str, Any] | None = None,
+    ) -> "EngineResult":
+        """A result restricted to the given layer rows.
+
+        Used by :meth:`~repro.core.engine.AggregateRiskEngine.run_many` to
+        split a batched multi-program run back into per-program results.  The
+        wall time of the shared run is carried over unchanged (the layers
+        were priced together; their costs are not separable), and the
+        workload shape keeps every dimension except the layer count.
+        """
+        idx = [int(i) for i in indices]
+        if not idx:
+            raise ValueError("at least one layer index is required")
+        for i in idx:
+            if not 0 <= i < self.ylt.n_layers:
+                raise IndexError(f"layer index {i} out of range [0, {self.ylt.n_layers})")
+        max_occ = self.ylt.max_occurrence_losses
+        ylt = YearLossTable(
+            self.ylt.losses[idx],
+            [self.ylt.layer_names[i] for i in idx],
+            max_occ[idx] if max_occ is not None else None,
+        )
+        details = dict(self.details)
+        if extra_details:
+            details.update(extra_details)
+        modeled = self.modeled
+        modeled_seconds = self.modeled_seconds
+        if len(modeled) == self.ylt.n_layers:
+            modeled = tuple(modeled[i] for i in idx)
+            if modeled_seconds is not None:
+                modeled_seconds = float(sum(est.seconds for est in modeled))
+        return replace(
+            self,
+            ylt=ylt,
+            workload_shape=replace(self.workload_shape, n_layers=len(idx)),
+            modeled=modeled,
+            modeled_seconds=modeled_seconds,
+            details=details,
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary of the run."""

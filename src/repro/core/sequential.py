@@ -64,8 +64,7 @@ class SequentialEngine:
     # ------------------------------------------------------------------ #
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
         """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
-        if isinstance(program, Layer):
-            program = ReinsuranceProgram([program], name=program.name or "single-layer")
+        program = ReinsuranceProgram.wrap(program)
         config = self.config
         timer = PhaseTimer(enabled=config.record_phases)
         wall = Timer().start()
@@ -112,7 +111,10 @@ class SequentialEngine:
             wall_seconds=wall_seconds,
             workload_shape=shape,
             phase_breakdown=timer.breakdown() if config.record_phases else None,
-            details={"elt_representation": config.elt_representation},
+            details={
+                "elt_representation": config.elt_representation,
+                "fused_layers": False,
+            },
         )
 
     # ------------------------------------------------------------------ #

@@ -1,12 +1,16 @@
 """Vectorized (whole-YET) backend.
 
-One call to the shared kernels per layer: the flattened event-id array of the
-entire Year Event Table is gathered against the layer's dense loss matrix in a
-single fancy-indexing operation, the financial and layer terms are applied as
-array expressions, and per-trial reductions produce the Year Loss Table.  This
-is the "make the inner loops disappear" translation of the paper's
-one-thread-per-trial data parallelism to NumPy: the data parallelism is across
-*all* trials at once rather than across hardware threads.
+By default (``EngineConfig.fused_layers``) the whole program is priced in one
+fused pass: every layer's term-netted dense losses are stacked into a single
+``(n_layers, catalog_size)`` matrix, the flattened event-id array of the
+entire Year Event Table is gathered from it in one fancy-indexing operation,
+and the layer terms are applied as broadcast expressions over the resulting
+``(n_layers, n_events)`` matrix.  With ``fused_layers=False`` the backend
+falls back to one kernel call per layer (re-gathering the YET against each
+layer's matrix separately).  Either way this is the "make the inner loops
+disappear" translation of the paper's one-thread-per-trial data parallelism
+to NumPy: the data parallelism is across *all* trials (and, fused, all
+layers) at once rather than across hardware threads.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import EngineConfig
-from repro.core.kernels import layer_trial_losses
+from repro.core.kernels import layer_trial_losses, layer_trial_losses_batch
 from repro.core.results import EngineResult
 from repro.parallel.device import WorkloadShape
 from repro.portfolio.layer import Layer
@@ -36,34 +40,43 @@ class VectorizedEngine:
 
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
         """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
-        if isinstance(program, Layer):
-            program = ReinsuranceProgram([program], name=program.name or "single-layer")
+        program = ReinsuranceProgram.wrap(program)
         config = self.config
         timer = PhaseTimer(enabled=config.record_phases)
         wall = Timer().start()
 
         n_trials = yet.n_trials
-        losses = np.zeros((program.n_layers, n_trials), dtype=np.float64)
-        max_occ = (
-            np.zeros((program.n_layers, n_trials), dtype=np.float64)
-            if config.record_max_occurrence
-            else None
-        )
-
-        for layer_index, layer in enumerate(program.layers):
-            matrix = layer.loss_matrix()
-            year_losses, trial_max = layer_trial_losses(
-                matrix,
+        if config.fused_layers:
+            losses, max_occ = layer_trial_losses_batch(
+                [layer.loss_matrix() for layer in program.layers],
                 yet.event_ids,
                 yet.trial_offsets,
-                layer.terms,
+                [layer.terms for layer in program.layers],
                 use_shortcut=config.use_aggregate_shortcut,
                 record_max_occurrence=config.record_max_occurrence,
                 timer=timer,
             )
-            losses[layer_index] = year_losses
-            if max_occ is not None and trial_max is not None:
-                max_occ[layer_index] = trial_max
+        else:
+            losses = np.zeros((program.n_layers, n_trials), dtype=np.float64)
+            max_occ = (
+                np.zeros((program.n_layers, n_trials), dtype=np.float64)
+                if config.record_max_occurrence
+                else None
+            )
+            for layer_index, layer in enumerate(program.layers):
+                matrix = layer.loss_matrix()
+                year_losses, trial_max = layer_trial_losses(
+                    matrix,
+                    yet.event_ids,
+                    yet.trial_offsets,
+                    layer.terms,
+                    use_shortcut=config.use_aggregate_shortcut,
+                    record_max_occurrence=config.record_max_occurrence,
+                    timer=timer,
+                )
+                losses[layer_index] = year_losses
+                if max_occ is not None and trial_max is not None:
+                    max_occ[layer_index] = trial_max
 
         wall_seconds = wall.stop()
         shape = WorkloadShape(
@@ -78,4 +91,5 @@ class VectorizedEngine:
             wall_seconds=wall_seconds,
             workload_shape=shape,
             phase_breakdown=timer.breakdown() if config.record_phases else None,
+            details={"fused_layers": config.fused_layers},
         )

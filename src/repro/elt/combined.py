@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.elt.table import EventLossTable
+from repro.financial.policies import apply_financial_terms_matrix
 
 __all__ = ["LayerLossMatrix"]
 
@@ -66,6 +67,7 @@ class LayerLossMatrix:
         self.shares = shares
         self.fx_rates = fx
         self._n_records = int(sum(elt.size for elt in elts))
+        self._combined_net: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -100,6 +102,23 @@ class LayerLossMatrix:
     def ground_up_event_losses(self, event_ids: np.ndarray) -> np.ndarray:
         """Per-event ground-up losses summed over ELTs (no financial terms)."""
         return self.gather(event_ids).sum(axis=0)
+
+    def combined_net_losses(self) -> np.ndarray:
+        """Per-catalog-entry losses net of financial terms, combined across ELTs.
+
+        Because the per-ELT financial terms ``I`` depend only on the dense
+        loss value (never on the trial), they can be applied to the catalog
+        axis *once* instead of to every gathered occurrence; the resulting
+        ``(catalog_size,)`` vector is what the fused multi-layer kernel
+        gathers from.  Computed lazily and cached (read-only view returned).
+        """
+        if self._combined_net is None:
+            net = apply_financial_terms_matrix(
+                self.losses, self.retentions, self.limits, self.shares, self.fx_rates
+            )
+            self._combined_net = net.sum(axis=0)
+            self._combined_net.flags.writeable = False
+        return self._combined_net
 
     def row(self, index: int) -> np.ndarray:
         """Dense loss vector of the ``index``-th ELT (read-only view)."""

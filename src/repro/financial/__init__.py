@@ -24,21 +24,28 @@ from repro.financial.contracts import (
 )
 from repro.financial.currency import Currency, CurrencyConverter
 from repro.financial.policies import (
+    aggregate_terms_shortcut_batch,
     apply_aggregate_terms_cumulative,
+    apply_aggregate_terms_cumulative_batch,
     apply_financial_terms,
     apply_occurrence_terms,
+    apply_occurrence_terms_batch,
     layer_net_of_terms,
 )
-from repro.financial.terms import FinancialTerms, LayerTerms
+from repro.financial.terms import FinancialTerms, LayerTerms, LayerTermsVectors
 
 __all__ = [
     "FinancialTerms",
     "LayerTerms",
+    "LayerTermsVectors",
     "Currency",
     "CurrencyConverter",
     "apply_financial_terms",
     "apply_occurrence_terms",
+    "apply_occurrence_terms_batch",
     "apply_aggregate_terms_cumulative",
+    "apply_aggregate_terms_cumulative_batch",
+    "aggregate_terms_shortcut_batch",
     "layer_net_of_terms",
     "occurrence_xl_terms",
     "aggregate_xl_terms",

@@ -12,15 +12,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.financial.terms import FinancialTerms, LayerTerms
-from repro.utils.arrays import cumulative_within_segments, segment_sum, validate_offsets
+from repro.financial.terms import FinancialTerms, LayerTerms, LayerTermsVectors
+from repro.utils.arrays import (
+    cumulative_within_segments,
+    segment_sum,
+    segment_sum_2d,
+    validate_offsets,
+)
 
 __all__ = [
     "apply_financial_terms",
     "apply_financial_terms_matrix",
     "apply_occurrence_terms",
+    "apply_occurrence_terms_batch",
     "apply_aggregate_terms_cumulative",
+    "apply_aggregate_terms_cumulative_batch",
     "aggregate_terms_shortcut",
+    "aggregate_terms_shortcut_batch",
+    "clip_aggregate_totals",
     "layer_net_of_terms",
 ]
 
@@ -71,6 +80,33 @@ def apply_occurrence_terms(occurrence_losses: np.ndarray, terms: LayerTerms) -> 
     """Apply ``T_OccR``/``T_OccL`` to per-occurrence losses (lines 10–11)."""
     values = np.asarray(occurrence_losses, dtype=np.float64) - terms.occurrence_retention
     np.clip(values, 0.0, terms.occurrence_limit, out=values)
+    return values
+
+
+def apply_occurrence_terms_batch(
+    occurrence_losses: np.ndarray,
+    vectors: LayerTermsVectors,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply every layer's ``T_OccR``/``T_OccL`` to an ``(n_layers, n_events)`` matrix.
+
+    Row ``i`` of the input holds layer ``i``'s combined per-event losses; the
+    ``i``-th occurrence retention and limit broadcast over that row.  This is
+    the batched form of :func:`apply_occurrence_terms` used by the fused
+    multi-layer kernel.  Pass ``out=occurrence_losses`` to transform a
+    scratch gather buffer in place and avoid a second full-size allocation.
+    """
+    matrix = np.asarray(occurrence_losses, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"occurrence_losses must be 2-D (n_layers, n_events), got shape {matrix.shape}"
+        )
+    if matrix.shape[0] != vectors.n_layers:
+        raise ValueError(
+            f"expected {vectors.n_layers} rows, got {matrix.shape[0]}"
+        )
+    values = np.subtract(matrix, vectors.occurrence_retentions[:, None], out=out)
+    np.clip(values, 0.0, vectors.occurrence_limits[:, None], out=values)
     return values
 
 
@@ -128,6 +164,63 @@ def aggregate_terms_shortcut(
     offsets = validate_offsets(np.asarray(trial_offsets), losses.shape[0])
     totals = segment_sum(losses, offsets)
     return np.clip(totals - terms.aggregate_retention, 0.0, terms.aggregate_limit)
+
+
+def clip_aggregate_totals(totals: np.ndarray, vectors: LayerTermsVectors) -> np.ndarray:
+    """Clip per-trial occurrence totals with every layer's ``T_AggR``/``T_AggL``.
+
+    The final step of the telescoped aggregate pass, shared by
+    :func:`aggregate_terms_shortcut_batch` and the streamed fused kernel so
+    the aggregate-term semantics live in exactly one place.  ``totals`` has
+    shape ``(n_layers, n_trials)``; a new year-loss matrix is returned.
+    """
+    values = np.asarray(totals, dtype=np.float64) - vectors.aggregate_retentions[:, None]
+    np.clip(values, 0.0, vectors.aggregate_limits[:, None], out=values)
+    return values
+
+
+def aggregate_terms_shortcut_batch(
+    occurrence_losses: np.ndarray,
+    trial_offsets: np.ndarray,
+    vectors: LayerTermsVectors,
+) -> np.ndarray:
+    """Telescoped aggregate terms for every layer at once.
+
+    Batched form of :func:`aggregate_terms_shortcut`: per-trial totals are
+    taken row-wise over the ``(n_layers, n_events)`` occurrence-loss matrix
+    and each row is clipped with its own ``T_AggR``/``T_AggL``.  Returns an
+    ``(n_layers, n_trials)`` year-loss matrix.
+    """
+    matrix = np.asarray(occurrence_losses, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"occurrence_losses must be 2-D (n_layers, n_events), got shape {matrix.shape}"
+        )
+    return clip_aggregate_totals(segment_sum_2d(matrix, trial_offsets), vectors)
+
+
+def apply_aggregate_terms_cumulative_batch(
+    occurrence_losses: np.ndarray,
+    trial_offsets: np.ndarray,
+    vectors: LayerTermsVectors,
+) -> np.ndarray:
+    """Full cumulative-pass aggregate terms for every layer at once.
+
+    The cumulative pass is inherently per-layer (the clipped prefix sums do
+    not batch into one broadcast expression), so this simply maps
+    :func:`apply_aggregate_terms_cumulative` over the rows; it exists so the
+    fused kernel can honour ``use_aggregate_shortcut=False``.
+    """
+    matrix = np.asarray(occurrence_losses, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"occurrence_losses must be 2-D (n_layers, n_events), got shape {matrix.shape}"
+        )
+    offsets = validate_offsets(np.asarray(trial_offsets), matrix.shape[1])
+    year_losses = np.empty((matrix.shape[0], offsets.size - 1), dtype=np.float64)
+    for row, terms in enumerate(vectors):
+        year_losses[row] = apply_aggregate_terms_cumulative(matrix[row], offsets, terms)
+    return year_losses
 
 
 def layer_net_of_terms(

@@ -25,10 +25,13 @@ share (participation) and a currency conversion rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.utils.validation import ensure_in_range, ensure_non_negative
 
-__all__ = ["FinancialTerms", "LayerTerms"]
+__all__ = ["FinancialTerms", "LayerTerms", "LayerTermsVectors"]
 
 
 @dataclass(frozen=True)
@@ -150,4 +153,99 @@ class LayerTerms:
         return (
             f"T_OccR={fmt(self.occurrence_retention)}, T_OccL={fmt(self.occurrence_limit)}, "
             f"T_AggR={fmt(self.aggregate_retention)}, T_AggL={fmt(self.aggregate_limit)}"
+        )
+
+
+class LayerTermsVectors:
+    """Structure-of-arrays form of many layers' :class:`LayerTerms`.
+
+    The fused multi-layer kernel applies the occurrence and aggregate terms of
+    every layer as one broadcast expression over an ``(n_layers, n_events)``
+    loss matrix; this container holds the four term vectors (each of length
+    ``n_layers``) those expressions broadcast against.
+    """
+
+    __slots__ = (
+        "occurrence_retentions",
+        "occurrence_limits",
+        "aggregate_retentions",
+        "aggregate_limits",
+    )
+
+    def __init__(
+        self,
+        occurrence_retentions: np.ndarray,
+        occurrence_limits: np.ndarray,
+        aggregate_retentions: np.ndarray,
+        aggregate_limits: np.ndarray,
+    ) -> None:
+        vectors = [
+            np.ascontiguousarray(v, dtype=np.float64)
+            for v in (
+                occurrence_retentions,
+                occurrence_limits,
+                aggregate_retentions,
+                aggregate_limits,
+            )
+        ]
+        lengths = {v.shape for v in vectors}
+        if len(lengths) != 1 or vectors[0].ndim != 1:
+            raise ValueError(
+                f"term vectors must be 1-D and equally long, got shapes {sorted(lengths)}"
+            )
+        for name, values, allow_inf in (
+            ("occurrence_retentions", vectors[0], False),
+            ("occurrence_limits", vectors[1], True),
+            ("aggregate_retentions", vectors[2], False),
+            ("aggregate_limits", vectors[3], True),
+        ):
+            # Same contract LayerTerms enforces per scalar: non-negative (and
+            # NaN-free); only the limits may be infinite.
+            if values.size and not np.all(values >= 0.0):
+                raise ValueError(f"{name} must be non-negative")
+            if not allow_inf and values.size and not np.all(np.isfinite(values)):
+                raise ValueError(f"{name} must be finite")
+        self.occurrence_retentions = vectors[0]
+        self.occurrence_limits = vectors[1]
+        self.aggregate_retentions = vectors[2]
+        self.aggregate_limits = vectors[3]
+
+    @classmethod
+    def from_terms(cls, terms: Sequence[LayerTerms]) -> "LayerTermsVectors":
+        """Stack a sequence of per-layer terms into term vectors."""
+        return cls(
+            np.array([t.occurrence_retention for t in terms], dtype=np.float64),
+            np.array([t.occurrence_limit for t in terms], dtype=np.float64),
+            np.array([t.aggregate_retention for t in terms], dtype=np.float64),
+            np.array([t.aggregate_limit for t in terms], dtype=np.float64),
+        )
+
+    @property
+    def n_layers(self) -> int:
+        """Number of layers the vectors describe."""
+        return int(self.occurrence_retentions.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_layers
+
+    def __iter__(self) -> Iterator[LayerTerms]:
+        for i in range(self.n_layers):
+            yield self[i]
+
+    def __getitem__(self, index: int) -> LayerTerms:
+        return LayerTerms(
+            occurrence_retention=float(self.occurrence_retentions[index]),
+            occurrence_limit=float(self.occurrence_limits[index]),
+            aggregate_retention=float(self.aggregate_retentions[index]),
+            aggregate_limit=float(self.aggregate_limits[index]),
+        )
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "LayerTermsVectors":
+        """Term vectors of a subset (or permutation) of the layers."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return LayerTermsVectors(
+            self.occurrence_retentions[idx],
+            self.occurrence_limits[idx],
+            self.aggregate_retentions[idx],
+            self.aggregate_limits[idx],
         )

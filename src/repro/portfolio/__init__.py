@@ -8,7 +8,14 @@ PML/TVaR are reported.
 """
 
 from repro.portfolio.layer import Layer
-from repro.portfolio.pricing import LayerPricing, price_layer, rate_on_line
+from repro.portfolio.pricing import (
+    LayerPricing,
+    ProgramQuote,
+    batch_quote,
+    price_layer,
+    price_program,
+    rate_on_line,
+)
 from repro.portfolio.program import ReinsuranceProgram
 from repro.portfolio.rollup import portfolio_rollup, RollupResult
 
@@ -16,7 +23,10 @@ __all__ = [
     "Layer",
     "ReinsuranceProgram",
     "LayerPricing",
+    "ProgramQuote",
     "price_layer",
+    "price_program",
+    "batch_quote",
     "rate_on_line",
     "portfolio_rollup",
     "RollupResult",

@@ -9,19 +9,40 @@ formula used here is
 ``premium = expected_loss + volatility_load * std + expense_ratio * premium``
 
 solved for the premium, i.e. ``premium = (EL + k * std) / (1 - expense_ratio)``.
+
+:func:`batch_quote` is the batch form of that scenario: many candidate
+programs (term variants, competing submissions) are priced in *one* engine
+invocation — their layers are concatenated and flow through the fused
+multi-layer kernel together — and one :class:`ProgramQuote` per program comes
+back.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
 from repro.utils.validation import ensure_non_negative
 from repro.ylt.metrics import RiskMetrics, compute_risk_metrics
+from repro.ylt.table import YearLossTable
 
-__all__ = ["LayerPricing", "price_layer", "rate_on_line", "loss_ratio"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports Layer)
+    from repro.core.engine import AggregateRiskEngine
+    from repro.yet.table import YearEventTable
+
+__all__ = [
+    "LayerPricing",
+    "ProgramQuote",
+    "price_layer",
+    "price_program",
+    "batch_quote",
+    "rate_on_line",
+    "loss_ratio",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +80,60 @@ class LayerPricing:
             f"vol_load={self.volatility_load:,.0f} "
             f"premium={self.technical_premium:,.0f} "
             f"RoL={rol}"
+        )
+
+
+@dataclass(frozen=True)
+class ProgramQuote:
+    """Pricing result for every layer of one program.
+
+    Attributes
+    ----------
+    program_name:
+        Name of the quoted program.
+    layer_names:
+        Names of the layers, aligned with ``layer_pricings``.
+    layer_pricings:
+        One :class:`LayerPricing` per layer, in program order.
+    """
+
+    program_name: str
+    layer_names: tuple[str, ...]
+    layer_pricings: tuple[LayerPricing, ...]
+
+    @property
+    def n_layers(self) -> int:
+        """Number of quoted layers."""
+        return len(self.layer_pricings)
+
+    @property
+    def total_expected_loss(self) -> float:
+        """Sum of the layers' expected annual losses."""
+        return float(sum(p.expected_loss for p in self.layer_pricings))
+
+    @property
+    def total_premium(self) -> float:
+        """Sum of the layers' technical premiums."""
+        return float(sum(p.technical_premium for p in self.layer_pricings))
+
+    def layer(self, index_or_name: int | str) -> LayerPricing:
+        """Pricing of one layer, by position or by name."""
+        if isinstance(index_or_name, str):
+            try:
+                index = self.layer_names.index(index_or_name)
+            except ValueError as exc:
+                raise KeyError(
+                    f"no layer named {index_or_name!r} in quote for {self.program_name!r}"
+                ) from exc
+        else:
+            index = index_or_name
+        return self.layer_pricings[index]
+
+    def summary(self) -> str:
+        """One-line quote summary."""
+        return (
+            f"{self.program_name}: layers={self.n_layers} "
+            f"EL={self.total_expected_loss:,.0f} premium={self.total_premium:,.0f}"
         )
 
 
@@ -124,3 +199,69 @@ def price_layer(
         rate_on_line=rol,
         metrics=metrics,
     )
+
+
+def price_program(
+    program: ReinsuranceProgram,
+    ylt: YearLossTable,
+    volatility_loading: float = 0.3,
+    expense_ratio: float = 0.15,
+) -> ProgramQuote:
+    """Price every layer of a program from its Year Loss Table.
+
+    ``ylt`` must be the engine output for exactly this program (one row per
+    layer, in program order) — e.g. ``engine.run(program, yet).ylt`` or one
+    element of :meth:`~repro.core.engine.AggregateRiskEngine.run_many`.
+    """
+    if ylt.n_layers != program.n_layers:
+        raise ValueError(
+            f"YLT has {ylt.n_layers} layers but program {program.name!r} "
+            f"has {program.n_layers}"
+        )
+    pricings = tuple(
+        price_layer(
+            layer,
+            ylt.layer(index),
+            volatility_loading=volatility_loading,
+            expense_ratio=expense_ratio,
+        )
+        for index, layer in enumerate(program.layers)
+    )
+    return ProgramQuote(
+        program_name=program.name,
+        layer_names=program.layer_names,
+        layer_pricings=pricings,
+    )
+
+
+def batch_quote(
+    programs: Sequence[ReinsuranceProgram | Layer],
+    yet: "YearEventTable",
+    engine: "AggregateRiskEngine | None" = None,
+    volatility_loading: float = 0.3,
+    expense_ratio: float = 0.15,
+) -> List[ProgramQuote]:
+    """Quote many programs in one fused engine invocation.
+
+    All programs are simulated against the same Year Event Table in a single
+    :meth:`~repro.core.engine.AggregateRiskEngine.run_many` call (by default
+    through the fused multi-layer kernel), then each program's layers are
+    priced from the resulting year losses.  This is the batched form of the
+    paper's real-time pricing scenario: an underwriter's candidate-term
+    variants are all answered from one pass over the YET.
+    """
+    from repro.core.engine import AggregateRiskEngine
+
+    normalised = [ReinsuranceProgram.wrap(p) for p in programs]
+    if engine is None:
+        engine = AggregateRiskEngine()
+    results = engine.run_many(normalised, yet)
+    return [
+        price_program(
+            program,
+            result.ylt,
+            volatility_loading=volatility_loading,
+            expense_ratio=expense_ratio,
+        )
+        for program, result in zip(normalised, results)
+    ]

@@ -30,6 +30,20 @@ class ReinsuranceProgram:
         self.layers: tuple[Layer, ...] = tuple(layers)
         self.name = str(name)
 
+    @classmethod
+    def wrap(cls, program_or_layer: "ReinsuranceProgram | Layer") -> "ReinsuranceProgram":
+        """Coerce a bare :class:`Layer` into a single-layer program.
+
+        Programs pass through unchanged.  This is the one place the
+        layer-as-program convenience (accepted by the engine facade and the
+        batch pricing path) is defined.
+        """
+        if isinstance(program_or_layer, Layer):
+            return cls(
+                [program_or_layer], name=program_or_layer.name or "single-layer"
+            )
+        return program_or_layer
+
     # ------------------------------------------------------------------ #
     # Container protocol
     # ------------------------------------------------------------------ #

@@ -22,6 +22,8 @@ __all__ = [
     "segment_lengths",
     "segment_sum",
     "segment_max",
+    "segment_sum_2d",
+    "segment_max_2d",
     "cumulative_within_segments",
     "segment_ids_from_offsets",
 ]
@@ -120,6 +122,54 @@ def segment_max(values: np.ndarray, offsets: np.ndarray, initial: float = 0.0) -
     starts = offsets[:-1][non_empty]
     maxima = np.maximum.reduceat(values, starts)
     result[non_empty] = np.maximum(maxima, float(initial))
+    return result
+
+
+def segment_sum_2d(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Row-wise segment sums of an ``(n_rows, n)`` matrix.
+
+    The fused multi-layer kernel reduces every layer's per-event losses to
+    per-trial totals in one call; each row is treated exactly like
+    :func:`segment_sum` treats its 1-D input (empty segments produce 0).
+    Returns an ``(n_rows, n_segments)`` matrix.
+    """
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"values must be 2-D (n_rows, n), got shape {matrix.shape}")
+    offsets = validate_offsets(np.asarray(offsets), matrix.shape[1])
+    n_seg = offsets.size - 1
+    if matrix.shape[1] == 0:
+        return np.zeros((matrix.shape[0], n_seg), dtype=np.float64)
+    csum = np.concatenate(
+        [np.zeros((matrix.shape[0], 1), dtype=np.float64), np.cumsum(matrix, axis=1)],
+        axis=1,
+    )
+    return csum[:, offsets[1:]] - csum[:, offsets[:-1]]
+
+
+def segment_max_2d(
+    values: np.ndarray, offsets: np.ndarray, initial: float = 0.0
+) -> np.ndarray:
+    """Row-wise segment maxima of an ``(n_rows, n)`` matrix.
+
+    The 2-D counterpart of :func:`segment_max`: empty segments yield
+    ``initial`` in every row.  Returns an ``(n_rows, n_segments)`` matrix.
+    """
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"values must be 2-D (n_rows, n), got shape {matrix.shape}")
+    offsets = validate_offsets(np.asarray(offsets), matrix.shape[1])
+    n_seg = offsets.size - 1
+    result = np.full((matrix.shape[0], n_seg), float(initial), dtype=np.float64)
+    if matrix.shape[1] == 0 or n_seg == 0:
+        return result
+    lengths = np.diff(offsets)
+    non_empty = lengths > 0
+    if not np.any(non_empty):
+        return result
+    starts = offsets[:-1][non_empty]
+    maxima = np.maximum.reduceat(matrix, starts, axis=1)
+    result[:, non_empty] = np.maximum(maxima, float(initial))
     return result
 
 

@@ -77,14 +77,65 @@ class TestCompareBackends:
         # the comparison catches it.
         from repro.core import chunked as chunked_module
 
-        original = chunked_module.layer_trial_losses_chunked
+        original_perlayer = chunked_module.layer_trial_losses_chunked
+        original_batch = chunked_module.layer_trial_losses_batch
 
-        def corrupted(*args, **kwargs):
-            year, occ = original(*args, **kwargs)
+        def corrupted_perlayer(*args, **kwargs):
+            year, occ = original_perlayer(*args, **kwargs)
             return year * 1.5, occ
 
-        monkeypatch.setattr(chunked_module, "layer_trial_losses_chunked", corrupted)
+        def corrupted_batch(*args, **kwargs):
+            year, occ = original_batch(*args, **kwargs)
+            return year * 1.5, occ
+
+        monkeypatch.setattr(chunked_module, "layer_trial_losses_chunked", corrupted_perlayer)
+        monkeypatch.setattr(chunked_module, "layer_trial_losses_batch", corrupted_batch)
         with pytest.raises(AssertionError, match="disagrees"):
             AggregateRiskEngine.compare_backends(
                 tiny_workload.program, tiny_workload.yet, backends=("vectorized", "chunked")
             )
+
+
+class TestRunMany:
+    def test_single_program_matches_run(self, tiny_workload):
+        engine = AggregateRiskEngine()
+        batched = engine.run_many([tiny_workload.program], tiny_workload.yet)
+        solo = engine.run(tiny_workload.program, tiny_workload.yet)
+        assert len(batched) == 1
+        np.testing.assert_array_equal(batched[0].ylt.losses, solo.ylt.losses)
+
+    def test_accepts_bare_layer(self, tiny_workload):
+        layer = tiny_workload.program.layers[0]
+        results = AggregateRiskEngine().run_many([layer], tiny_workload.yet)
+        assert results[0].ylt.n_layers == 1
+
+    def test_empty_batch_rejected(self, tiny_workload):
+        with pytest.raises(ValueError, match="at least one"):
+            AggregateRiskEngine().run_many([], tiny_workload.yet)
+
+    def test_batch_details_recorded(self, tiny_workload):
+        program = tiny_workload.program
+        results = AggregateRiskEngine().run_many([program, program], tiny_workload.yet)
+        assert [r.details["batch"]["index"] for r in results] == [0, 1]
+        assert all(
+            r.details["batch"]["total_layers"] == 2 * program.n_layers for r in results
+        )
+
+    def test_run_many_on_sequential_backend(self, tiny_workload, tiny_reference_result):
+        engine = AggregateRiskEngine(EngineConfig(backend="sequential"))
+        results = engine.run_many([tiny_workload.program], tiny_workload.yet)
+        np.testing.assert_allclose(
+            results[0].ylt.losses, tiny_reference_result.ylt.losses, rtol=1e-9, atol=1e-6
+        )
+
+
+class TestFusedConfig:
+    def test_fused_default_on(self):
+        assert EngineConfig().fused_layers is True
+
+    def test_details_report_fused_flag(self, tiny_workload):
+        for fused in (True, False):
+            result = AggregateRiskEngine(
+                EngineConfig(backend="vectorized", fused_layers=fused)
+            ).run(tiny_workload.program, tiny_workload.yet)
+            assert result.details["fused_layers"] is fused

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.financial.terms import FinancialTerms, LayerTerms
+from repro.financial.terms import FinancialTerms, LayerTerms, LayerTermsVectors
 
 
 class TestFinancialTerms:
@@ -102,3 +102,49 @@ class TestLayerTerms:
             LayerTerms().apply_occurrence(-1.0)
         with pytest.raises(ValueError):
             LayerTerms().apply_aggregate(-1.0)
+
+
+class TestLayerTermsVectors:
+    def make_terms(self):
+        return [
+            LayerTerms(1.0, 10.0, 100.0, 1000.0),
+            LayerTerms(2.0, float("inf"), 0.0, 500.0),
+            LayerTerms(),
+        ]
+
+    def test_from_terms_round_trips(self):
+        terms = self.make_terms()
+        vectors = LayerTermsVectors.from_terms(terms)
+        assert vectors.n_layers == len(vectors) == 3
+        assert list(vectors) == terms
+        assert vectors[1] == terms[1]
+
+    def test_take_permutes(self):
+        vectors = LayerTermsVectors.from_terms(self.make_terms())
+        permuted = vectors.take([2, 0, 1])
+        assert permuted[0] == vectors[2]
+        assert permuted[2] == vectors[1]
+
+    def test_mismatched_vector_lengths_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            LayerTermsVectors(
+                np.zeros(2), np.zeros(3), np.zeros(2), np.zeros(2)
+            )
+
+    def test_invalid_term_values_rejected(self):
+        import numpy as np
+
+        ok = np.zeros(1)
+        inf = np.array([float("inf")])
+        with pytest.raises(ValueError, match="non-negative"):
+            LayerTermsVectors(np.array([-5.0]), ok, ok, ok)
+        with pytest.raises(ValueError, match="non-negative"):
+            LayerTermsVectors(ok, ok, ok, np.array([-1.0]))
+        with pytest.raises(ValueError, match="non-negative"):
+            LayerTermsVectors(np.array([float("nan")]), ok, ok, ok)
+        with pytest.raises(ValueError, match="finite"):
+            LayerTermsVectors(inf, ok, ok, ok)
+        # limits may be infinite, matching LayerTerms
+        LayerTermsVectors(ok, inf, ok, inf)

@@ -19,6 +19,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--backend", "quantum"])
 
+    def test_batch_defaults_to_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.batch == 0
+
 
 class TestCommands:
     def test_run_tiny(self, capsys):
@@ -30,6 +34,23 @@ class TestCommands:
         assert main(["run", "--preset", "tiny", "--phases"]) == 0
         out = capsys.readouterr().out
         assert "elt_lookup" in out
+
+    def test_run_batch_mode(self, capsys):
+        assert main(["run", "--preset", "tiny", "--batch", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 variants" in out
+        assert out.count("premium=") == 3
+        assert "retx1.50" in out
+
+    def test_run_batch_mode_with_phases(self, capsys):
+        assert main(["run", "--preset", "tiny", "--batch", "2", "--phases"]) == 0
+        out = capsys.readouterr().out
+        assert "elt_lookup" in out
+
+    def test_run_batch_mode_on_chunked_backend(self, capsys):
+        assert main(["run", "--preset", "tiny", "--batch", "2", "--backend", "chunked"]) == 0
+        out = capsys.readouterr().out
+        assert "one chunked invocation" in out
 
     def test_metrics_report(self, capsys):
         assert main(["metrics", "--preset", "tiny", "--return-periods", "10,50"]) == 0

@@ -10,7 +10,9 @@ from repro.utils.arrays import (
     segment_ids_from_offsets,
     segment_lengths,
     segment_max,
+    segment_max_2d,
     segment_sum,
+    segment_sum_2d,
     validate_offsets,
 )
 
@@ -120,3 +122,37 @@ class TestSegmentReductions:
         offsets = np.concatenate(([0], cuts, [100]))
         expected = [chunk.sum() for chunk in np.split(values, offsets[1:-1])]
         np.testing.assert_allclose(segment_sum(values, offsets), expected)
+
+
+class TestSegmentReductions2D:
+    def test_segment_sum_2d_matches_rowwise_1d(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.random((4, 60))
+        offsets = np.array([0, 10, 10, 25, 60])
+        result = segment_sum_2d(matrix, offsets)
+        assert result.shape == (4, 4)
+        for row in range(4):
+            np.testing.assert_array_equal(result[row], segment_sum(matrix[row], offsets))
+
+    def test_segment_max_2d_matches_rowwise_1d(self):
+        rng = np.random.default_rng(6)
+        matrix = rng.random((3, 40))
+        offsets = np.array([0, 0, 13, 13, 40])
+        result = segment_max_2d(matrix, offsets)
+        assert result.shape == (3, 4)
+        for row in range(3):
+            np.testing.assert_array_equal(result[row], segment_max(matrix[row], offsets))
+
+    def test_empty_segments_and_empty_matrix(self):
+        empty = np.zeros((2, 0))
+        offsets = np.array([0, 0, 0])
+        np.testing.assert_array_equal(segment_sum_2d(empty, offsets), np.zeros((2, 2)))
+        np.testing.assert_array_equal(
+            segment_max_2d(empty, offsets, initial=-1.0), np.full((2, 2), -1.0)
+        )
+
+    def test_rejects_non_2d_input(self):
+        with pytest.raises(ValueError):
+            segment_sum_2d(np.zeros(5), np.array([0, 5]))
+        with pytest.raises(ValueError):
+            segment_max_2d(np.zeros((2, 2, 2)), np.array([0, 2]))
