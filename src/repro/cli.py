@@ -1,17 +1,24 @@
 """Command-line interface.
 
-Four subcommands cover the everyday operations of the library::
+Five subcommands cover the everyday operations of the library::
 
     are generate --preset bench --out yet.npz     # simulate & store a YET
     are run --preset bench --backend vectorized   # run an aggregate analysis
     are run --preset bench --batch 8              # batch-price 8 term variants
     are metrics --preset bench                    # run + print PML/TVaR report
+    are uncertainty --replications 64 --cv 0.6    # replication-banded metrics
     are project --trials 1000000                  # full-scale runtime projection
 
 ``run --batch N`` is the batched real-time pricing scenario: N candidate-term
 variants of the preset's program are priced in *one* engine invocation (their
 layers all flow through the fused multi-layer kernel together) and a quote
 line is printed per variant.
+
+``uncertainty`` wraps the preset program's ELTs with per-event loss
+distributions and runs the replication-batched secondary-uncertainty engine:
+all replications are sampled up front and priced as fused stack rows in one
+pass over the YET, yielding percentile bands around every risk metric and a
+banded quote.
 
 The CLI operates on the synthetic workload presets; it exists so that the
 examples and benchmarks have a scriptable entry point (and so that a user can
@@ -31,6 +38,12 @@ from repro.financial.terms import LayerTerms
 from repro.parallel.device import WorkloadShape
 from repro.portfolio.pricing import price_program
 from repro.portfolio.program import ReinsuranceProgram
+from repro.uncertainty import (
+    LossDistributionFamily,
+    SecondaryUncertaintyAnalysis,
+    UncertainEventLossTable,
+    UncertainLayer,
+)
 from repro.utils.timing import Timer
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.presets import preset, preset_names
@@ -45,6 +58,13 @@ def _non_negative_int(text: str) -> int:
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -77,6 +97,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_arguments(metrics)
     metrics.add_argument("--return-periods", default="10,25,50,100,250",
                          help="comma-separated PML return periods (years)")
+
+    uncertainty = subparsers.add_parser(
+        "uncertainty",
+        help="replication-banded secondary-uncertainty analysis and quote",
+    )
+    _add_run_arguments(uncertainty)
+    uncertainty.add_argument(
+        "--replications", type=_positive_int, default=64, metavar="R",
+        help="number of sampled replications (default 64)",
+    )
+    uncertainty.add_argument(
+        "--cv", type=float, default=0.6,
+        help="coefficient of variation wrapped around every ELT loss (default 0.6)",
+    )
+    uncertainty.add_argument(
+        "--family", default="gamma", choices=[f.value for f in LossDistributionFamily],
+        help="conditional loss distribution family",
+    )
+    uncertainty.add_argument(
+        "--method", default="batched", choices=("batched", "replay"),
+        help="batched = one fused stacked pass over the YET (default); "
+             "replay = one engine invocation per replication (conformance oracle)",
+    )
+    uncertainty.add_argument(
+        "--block", type=_non_negative_int, default=0, metavar="B",
+        help="stream the batched path in blocks of B replications "
+             "(0 = all replications in one fused pass)",
+    )
+    uncertainty.add_argument("--return-periods", default="100,250",
+                             help="comma-separated PML return periods (years)")
 
     project = subparsers.add_parser(
         "project", help="project full-scale runtimes with the analytical cost models"
@@ -199,6 +249,66 @@ def _command_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_uncertainty(args: argparse.Namespace) -> int:
+    if args.method == "batched" and args.backend not in ("vectorized", "chunked", "multicore"):
+        print(
+            f"error: backend {args.backend!r} has no stacked execution path; "
+            "use --backend vectorized/chunked/multicore or --method replay",
+            file=sys.stderr,
+        )
+        return 2
+    workload = _build_workload(args)
+    family = LossDistributionFamily(args.family)
+    uncertain_layers = [
+        UncertainLayer(
+            elts=[
+                UncertainEventLossTable.from_elt(elt, cv=args.cv, family=family)
+                for elt in layer.elts
+            ],
+            terms=layer.terms,
+            name=layer.name,
+        )
+        for layer in workload.program.layers
+    ]
+    config = _build_config(args).replace(
+        record_max_occurrence=False, replication_block=args.block
+    )
+    analysis = SecondaryUncertaintyAnalysis(uncertain_layers, config=config)
+    return_periods = tuple(float(x) for x in args.return_periods.split(",") if x)
+    # Fall back to the preset seed so the default invocation is reproducible.
+    seed = args.seed if args.seed is not None else preset(args.preset).seed
+
+    wall = Timer().start()
+    summaries = analysis.run_batched(
+        workload.yet,
+        args.replications,
+        rng=seed,
+        return_periods=return_periods,
+        method=args.method,
+    )
+    seconds = wall.stop()
+
+    print(f"workload : {workload.summary()}")
+    block_note = f", block={args.block}" if args.block else ""
+    print(f"analysis : {args.replications} replications (cv={args.cv:g}, {family.value}) "
+          f"via {args.method} on {config.backend}{block_note} in {seconds:.4f}s")
+    print()
+    header = f"{'metric':<12}{'mean':>16}{'std':>14}{'p5':>16}{'p95':>16}"
+    print(header)
+    print("-" * len(header))
+    for name, summary in summaries.items():
+        print(f"{name:<12}{summary.mean:>16,.0f}{summary.std:>14,.0f}"
+              f"{summary.low:>16,.0f}{summary.high:>16,.0f}")
+
+    program = analysis.expected_program()
+    engine = AggregateRiskEngine(config)
+    quote = price_program(program, engine.run(program, workload.yet).ylt,
+                          uncertainty=summaries)
+    print()
+    print(f"quote    : {quote.summary()}")
+    return 0
+
+
 def _command_project(args: argparse.Namespace) -> int:
     shape = WorkloadShape(
         n_trials=args.trials,
@@ -218,6 +328,7 @@ _COMMANDS = {
     "generate": _command_generate,
     "run": _command_run,
     "metrics": _command_metrics,
+    "uncertainty": _command_uncertainty,
     "project": _command_project,
 }
 

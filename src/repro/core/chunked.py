@@ -21,11 +21,14 @@ The streaming accumulation needs the telescoped aggregate shortcut; the
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.config import EngineConfig
 from repro.core.kernels import layer_trial_losses_batch, layer_trial_losses_chunked
 from repro.core.results import EngineResult
+from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.parallel.device import WorkloadShape
 from repro.portfolio.layer import Layer
 from repro.portfolio.program import ReinsuranceProgram
@@ -102,5 +105,55 @@ class ChunkedEngine:
             details={
                 "chunk_events": config.chunk_events,
                 "fused_layers": config.fused_layers and config.use_aggregate_shortcut,
+            },
+        )
+
+    def run_stacked(
+        self,
+        stack: np.ndarray,
+        terms: Sequence[LayerTerms] | LayerTermsVectors,
+        yet: YearEventTable,
+        layer_names: Sequence[str] | None = None,
+    ) -> EngineResult:
+        """Price precomputed term-netted stack rows, streaming the YET.
+
+        Same contract as :meth:`VectorizedEngine.run_stacked`, but the event
+        stream is processed in ``chunk_events``-sized chunks so the gather
+        buffer stays at ``n_rows x chunk_events`` doubles.  The streaming
+        accumulation needs the telescoped aggregate shortcut; under the
+        ``use_aggregate_shortcut=False`` ablation the rows are priced in one
+        unchunked cumulative pass instead.
+        """
+        config = self.config
+        timer = PhaseTimer(enabled=config.record_phases)
+        wall = Timer().start()
+        losses, max_occ = layer_trial_losses_batch(
+            (),
+            yet.event_ids,
+            yet.trial_offsets,
+            terms,
+            use_shortcut=config.use_aggregate_shortcut,
+            record_max_occurrence=config.record_max_occurrence,
+            timer=timer,
+            chunk_events=config.chunk_events if config.use_aggregate_shortcut else None,
+            stack=stack,
+        )
+        wall_seconds = wall.stop()
+        shape = WorkloadShape(
+            n_trials=yet.n_trials,
+            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
+            n_elts=1,
+            n_layers=losses.shape[0],
+        )
+        return EngineResult(
+            ylt=YearLossTable(losses, layer_names, max_occ),
+            backend=self.name,
+            wall_seconds=wall_seconds,
+            workload_shape=shape,
+            phase_breakdown=timer.breakdown() if config.record_phases else None,
+            details={
+                "chunk_events": config.chunk_events,
+                "fused_layers": True,
+                "stacked": True,
             },
         )

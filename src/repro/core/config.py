@@ -56,6 +56,15 @@ class EngineConfig:
     chunk_events:
         Flattened-event chunk size of the *chunked* backend (number of event
         occurrences staged per iteration).
+    replication_block:
+        Replications sampled and priced per fused pass by the
+        replication-batched secondary-uncertainty engine
+        (:meth:`~repro.uncertainty.analysis.SecondaryUncertaintyAnalysis.run_batched`).
+        ``0`` prices all replications in one pass; a positive value streams
+        blocks of that many replications so the working set (the sampled
+        ``replication_block * n_layers`` stack rows) stays bounded — the
+        replication analogue of ``chunk_events``.  Draws are per-replication
+        child streams, so the block size never changes the results.
     n_workers:
         Worker processes of the *multicore* backend (the paper's "cores").
     scheduling:
@@ -86,6 +95,7 @@ class EngineConfig:
     record_max_occurrence: bool = True
     record_phases: bool = False
     chunk_events: int = 8192
+    replication_block: int = 0
     n_workers: int = 1
     scheduling: SchedulingPolicy = SchedulingPolicy.STATIC
     oversubscription: int = 1
@@ -108,6 +118,10 @@ class EngineConfig:
             )
         if self.chunk_events <= 0:
             raise ValueError(f"chunk_events must be positive, got {self.chunk_events}")
+        if self.replication_block < 0:
+            raise ValueError(
+                f"replication_block must be non-negative, got {self.replication_block}"
+            )
         if self.n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {self.n_workers}")
         if self.oversubscription <= 0:

@@ -20,6 +20,19 @@ program::
     results = engine.run_many([program_a, program_b], yet)
     premium_basis = results[0].ylt.layer(0)  # program_a's first layer
 
+Workloads that synthesise their own term-netted loss rows — above all the
+replication-batched secondary-uncertainty engine, which samples ``R``
+realisations of a program and prices them as ``R x n_layers`` fused rows —
+enter through :meth:`AggregateRiskEngine.run_stacked`.  The resulting
+banded quote looks like::
+
+    analysis = SecondaryUncertaintyAnalysis(uncertain_layers)
+    quote = analysis.quote(yet, n_replications=64, rng=2012)
+    print(quote.summary())            # "...: EL=1,234 premium=2,345 aal_band=[...]"
+    print(quote.band("aal").relative_spread())
+
+(the CLI equivalent is ``are uncertainty --replications 64``).
+
 The facade also provides :meth:`AggregateRiskEngine.compare_backends`, which
 runs the same workload through several backends (optionally through both the
 fused multi-layer path and the per-layer path of each backend) and verifies
@@ -40,6 +53,7 @@ from repro.core.multicore import MulticoreEngine
 from repro.core.results import EngineResult
 from repro.core.sequential import SequentialEngine
 from repro.core.vectorized import VectorizedEngine
+from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.portfolio.layer import Layer
 from repro.portfolio.program import ReinsuranceProgram
 from repro.yet.table import YearEventTable
@@ -133,6 +147,37 @@ class AggregateRiskEngine:
             )
             start = stop
         return results
+
+    def run_stacked(
+        self,
+        stack: np.ndarray,
+        terms: Sequence[LayerTerms] | LayerTermsVectors,
+        yet: YearEventTable,
+        layer_names: Sequence[str] | None = None,
+    ) -> EngineResult:
+        """Price precomputed term-netted stack rows over one YET.
+
+        ``stack`` is an ``(n_rows, catalog_size)`` matrix in the layout of
+        :func:`~repro.core.kernels.build_layer_loss_stack` — each row a dense
+        per-catalog-entry loss vector already net of per-ELT financial terms —
+        and ``terms`` supplies one set of layer terms per row.  This is the
+        entry point for workloads that synthesise their own rows instead of
+        deriving them from :class:`~repro.portfolio.layer.Layer` objects; the
+        replication-batched secondary-uncertainty engine prices all ``R``
+        sampled realisations of a program as ``R * n_layers`` stacked rows
+        through it in a single pass over the Year Event Table.
+
+        Supported by the vectorized, chunked and multicore backends (the
+        backends with a fused multi-layer path); the sequential and gpu
+        backends raise ``ValueError``.
+        """
+        runner = getattr(self._backend, "run_stacked", None)
+        if runner is None:
+            raise ValueError(
+                f"backend {self.config.backend!r} has no stacked execution path; "
+                "use one of the fused backends (vectorized, chunked, multicore)"
+            )
+        return runner(stack, terms, yet, layer_names=layer_names)
 
     # ------------------------------------------------------------------ #
     # Cross-backend validation

@@ -45,6 +45,7 @@ __all__ = [
     "layer_trial_losses_chunked",
     "build_layer_loss_stack",
     "layer_trial_losses_batch",
+    "replication_portfolio_losses",
 ]
 
 
@@ -119,6 +120,35 @@ def layer_trial_losses(
             segment_max(occurrence, trial_offsets) if record_max_occurrence else None
         )
     return year_losses, max_occurrence
+
+
+def replication_portfolio_losses(year_losses: np.ndarray, n_layers: int) -> np.ndarray:
+    """Per-replication portfolio year losses from fused replication rows.
+
+    The replication-batched uncertainty engine prices ``R`` sampled program
+    realisations as ``R * n_layers`` fused rows (replication-major).  This
+    reduces that ``(R * n_layers, n_trials)`` year-loss matrix to the
+    ``(R, n_trials)`` per-replication portfolio losses, summing each
+    replication's layer block with exactly the reduction
+    :meth:`~repro.ylt.table.YearLossTable.portfolio_losses` applies to a
+    single program's YLT — so a batched replication reproduces the replay
+    loop's portfolio losses bit for bit.
+    """
+    losses = np.asarray(year_losses, dtype=np.float64)
+    if losses.ndim != 2:
+        raise ValueError(f"year_losses must be 2-D, got shape {losses.shape}")
+    if n_layers <= 0:
+        raise ValueError(f"n_layers must be positive, got {n_layers}")
+    if losses.shape[0] % n_layers:
+        raise ValueError(
+            f"{losses.shape[0]} fused rows do not divide into layers of {n_layers}"
+        )
+    n_replications = losses.shape[0] // n_layers
+    # Reducing the middle axis of the (R, n_layers, n_trials) view adds the
+    # layer rows sequentially per replication — the same accumulation order
+    # as portfolio_losses' sum over axis 0 of each (n_layers, n_trials) block.
+    losses = np.ascontiguousarray(losses)
+    return losses.reshape(n_replications, n_layers, -1).sum(axis=1)
 
 
 def build_layer_loss_stack(

@@ -211,3 +211,80 @@ class MulticoreEngine:
                 "fused_layers": config.fused_layers,
             },
         )
+
+    def run_stacked(
+        self,
+        stack: np.ndarray,
+        terms: Sequence[LayerTerms] | LayerTermsVectors,
+        yet: YearEventTable,
+        layer_names: Sequence[str] | None = None,
+    ) -> EngineResult:
+        """Price precomputed term-netted stack rows across worker processes.
+
+        Same contract as :meth:`VectorizedEngine.run_stacked`: the stack is
+        shared with the workers (fork inheritance or shared memory) and each
+        worker prices every row for its block of trials through the fused
+        batch kernel — the same worker task the fused program path uses, so
+        results are independent of the worker count and block schedule.
+        """
+        config = self.config
+        wall = Timer().start()
+        stack = np.ascontiguousarray(stack, dtype=np.float64)
+        vectors = terms if isinstance(terms, LayerTermsVectors) else LayerTermsVectors.from_terms(terms)
+        context = MulticoreContext(
+            event_ids=yet.event_ids,
+            trial_offsets=yet.trial_offsets,
+            matrices=None,
+            terms=(),
+            use_shortcut=config.use_aggregate_shortcut,
+            record_max_occurrence=config.record_max_occurrence,
+            stack=stack,
+            terms_vectors=vectors,
+        )
+        parallel_config = ParallelConfig(
+            n_workers=config.n_workers,
+            policy=config.scheduling,
+            oversubscription=config.oversubscription,
+            start_method=config.start_method,
+        )
+        executor = TrialBlockExecutor(parallel_config, context=context)
+        schedule = executor.schedule_for(yet.n_trials)
+        block_results: List[tuple[int, np.ndarray, np.ndarray | None]] = executor.run(
+            _analyse_block, work_items=list(schedule.blocks)
+        )
+
+        n_trials = yet.n_trials
+        n_rows = stack.shape[0]
+        losses = np.zeros((n_rows, n_trials), dtype=np.float64)
+        max_occ = (
+            np.zeros((n_rows, n_trials), dtype=np.float64)
+            if config.record_max_occurrence
+            else None
+        )
+        for start, block_losses, block_max in block_results:
+            size = block_losses.shape[1]
+            losses[:, start : start + size] = block_losses
+            if max_occ is not None and block_max is not None:
+                max_occ[:, start : start + size] = block_max
+
+        wall_seconds = wall.stop()
+        shape = WorkloadShape(
+            n_trials=n_trials,
+            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
+            n_elts=1,
+            n_layers=n_rows,
+        )
+        return EngineResult(
+            ylt=YearLossTable(losses, layer_names, max_occ),
+            backend=self.name,
+            wall_seconds=wall_seconds,
+            workload_shape=shape,
+            details={
+                "n_workers": config.n_workers,
+                "scheduling": str(config.scheduling),
+                "oversubscription": config.oversubscription,
+                "n_blocks": schedule.n_blocks,
+                "fused_layers": True,
+                "stacked": True,
+            },
+        )

@@ -15,11 +15,14 @@ layers) at once rather than across hardware threads.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.config import EngineConfig
 from repro.core.kernels import layer_trial_losses, layer_trial_losses_batch
 from repro.core.results import EngineResult
+from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.parallel.device import WorkloadShape
 from repro.portfolio.layer import Layer
 from repro.portfolio.program import ReinsuranceProgram
@@ -92,4 +95,49 @@ class VectorizedEngine:
             workload_shape=shape,
             phase_breakdown=timer.breakdown() if config.record_phases else None,
             details={"fused_layers": config.fused_layers},
+        )
+
+    def run_stacked(
+        self,
+        stack: np.ndarray,
+        terms: Sequence[LayerTerms] | LayerTermsVectors,
+        yet: YearEventTable,
+        layer_names: Sequence[str] | None = None,
+    ) -> EngineResult:
+        """Price precomputed term-netted stack rows over ``yet`` in one pass.
+
+        ``stack`` is an ``(n_rows, catalog_size)`` matrix of per-catalog-entry
+        losses already net of per-ELT financial terms — the shape
+        :func:`~repro.core.kernels.build_layer_loss_stack` produces, but
+        coming from any source (e.g. the sampled replication rows of the
+        secondary-uncertainty engine).  Each row is priced under the matching
+        entry of ``terms`` exactly as a program layer would be.
+        """
+        config = self.config
+        timer = PhaseTimer(enabled=config.record_phases)
+        wall = Timer().start()
+        losses, max_occ = layer_trial_losses_batch(
+            (),
+            yet.event_ids,
+            yet.trial_offsets,
+            terms,
+            use_shortcut=config.use_aggregate_shortcut,
+            record_max_occurrence=config.record_max_occurrence,
+            timer=timer,
+            stack=stack,
+        )
+        wall_seconds = wall.stop()
+        shape = WorkloadShape(
+            n_trials=yet.n_trials,
+            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
+            n_elts=1,
+            n_layers=losses.shape[0],
+        )
+        return EngineResult(
+            ylt=YearLossTable(losses, layer_names, max_occ),
+            backend=self.name,
+            wall_seconds=wall_seconds,
+            workload_shape=shape,
+            phase_breakdown=timer.breakdown() if config.record_phases else None,
+            details={"fused_layers": True, "stacked": True},
         )

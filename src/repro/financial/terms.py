@@ -240,6 +240,24 @@ class LayerTermsVectors:
             aggregate_limit=float(self.aggregate_limits[index]),
         )
 
+    def tile(self, repetitions: int) -> "LayerTermsVectors":
+        """Term vectors of ``repetitions`` copies of the layers, concatenated.
+
+        The replication-batched uncertainty engine stacks ``R`` sampled
+        realisations of an ``n_layers`` program into one fused
+        ``(R * n_layers, catalog_size)`` loss stack; this produces the
+        matching term vectors (replication-major, i.e. the layer block is
+        repeated ``R`` times).
+        """
+        if repetitions <= 0:
+            raise ValueError(f"repetitions must be positive, got {repetitions}")
+        return LayerTermsVectors(
+            np.tile(self.occurrence_retentions, repetitions),
+            np.tile(self.occurrence_limits, repetitions),
+            np.tile(self.aggregate_retentions, repetitions),
+            np.tile(self.aggregate_limits, repetitions),
+        )
+
     def take(self, indices: Sequence[int] | np.ndarray) -> "LayerTermsVectors":
         """Term vectors of a subset (or permutation) of the layers."""
         idx = np.asarray(indices, dtype=np.int64)

@@ -20,7 +20,7 @@ back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, TYPE_CHECKING
+from typing import List, Mapping, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.ylt.table import YearLossTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports Layer)
     from repro.core.engine import AggregateRiskEngine
+    from repro.uncertainty.analysis import ReplicationSummary
     from repro.yet.table import YearEventTable
 
 __all__ = [
@@ -95,11 +96,32 @@ class ProgramQuote:
         Names of the layers, aligned with ``layer_pricings``.
     layer_pricings:
         One :class:`LayerPricing` per layer, in program order.
+    uncertainty:
+        Optional secondary-uncertainty bands: a mapping of metric name
+        (``"aal"``, ``"pml_<rp>"``, ``"tvar_<level>"``) to the
+        :class:`~repro.uncertainty.analysis.ReplicationSummary` of that
+        metric across sampled replications, as produced by
+        :meth:`~repro.uncertainty.analysis.SecondaryUncertaintyAnalysis.run_batched`.
+        ``None`` for a plain (mean-loss) quote.
     """
 
     program_name: str
     layer_names: tuple[str, ...]
     layer_pricings: tuple[LayerPricing, ...]
+    uncertainty: "Mapping[str, ReplicationSummary] | None" = None
+
+    @property
+    def has_uncertainty(self) -> bool:
+        """True when the quote carries secondary-uncertainty bands."""
+        return bool(self.uncertainty)
+
+    def band(self, metric: str) -> "ReplicationSummary":
+        """Uncertainty band of one metric (KeyError if absent)."""
+        if not self.uncertainty:
+            raise KeyError(
+                f"quote for {self.program_name!r} carries no uncertainty bands"
+            )
+        return self.uncertainty[metric]
 
     @property
     def n_layers(self) -> int:
@@ -130,11 +152,15 @@ class ProgramQuote:
         return self.layer_pricings[index]
 
     def summary(self) -> str:
-        """One-line quote summary."""
-        return (
+        """One-line quote summary (with the AAL band when bands are attached)."""
+        line = (
             f"{self.program_name}: layers={self.n_layers} "
             f"EL={self.total_expected_loss:,.0f} premium={self.total_premium:,.0f}"
         )
+        if self.uncertainty and "aal" in self.uncertainty:
+            band = self.uncertainty["aal"]
+            line += f" aal_band=[{band.low:,.0f}, {band.high:,.0f}]"
+        return line
 
 
 def rate_on_line(premium: float, aggregate_limit: float) -> float:
@@ -206,12 +232,20 @@ def price_program(
     ylt: YearLossTable,
     volatility_loading: float = 0.3,
     expense_ratio: float = 0.15,
+    uncertainty: "Mapping[str, ReplicationSummary] | None" = None,
 ) -> ProgramQuote:
     """Price every layer of a program from its Year Loss Table.
 
     ``ylt`` must be the engine output for exactly this program (one row per
     layer, in program order) — e.g. ``engine.run(program, yet).ylt`` or one
     element of :meth:`~repro.core.engine.AggregateRiskEngine.run_many`.
+
+    ``uncertainty`` optionally attaches secondary-uncertainty bands (metric
+    name to :class:`~repro.uncertainty.analysis.ReplicationSummary`) to the
+    quote — typically the output of
+    :meth:`~repro.uncertainty.analysis.SecondaryUncertaintyAnalysis.run_batched`;
+    :meth:`~repro.uncertainty.analysis.SecondaryUncertaintyAnalysis.quote`
+    wires the two together.
     """
     if ylt.n_layers != program.n_layers:
         raise ValueError(
@@ -231,6 +265,7 @@ def price_program(
         program_name=program.name,
         layer_names=program.layer_names,
         layer_pricings=pricings,
+        uncertainty=uncertainty,
     )
 
 

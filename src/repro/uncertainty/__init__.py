@@ -17,7 +17,12 @@ metric.
 * :class:`~repro.uncertainty.table.UncertainEventLossTable` — an ELT whose
   records are distributions;
 * :class:`~repro.uncertainty.analysis.SecondaryUncertaintyAnalysis` — runs the
-  replicated aggregate analysis and summarises metric distributions.
+  replicated aggregate analysis and summarises metric distributions.  Its
+  :meth:`~repro.uncertainty.analysis.SecondaryUncertaintyAnalysis.run_batched`
+  engine samples all replications up front (one child stream per
+  replication) and prices them as fused ``R x n_layers`` stack rows in a
+  single stacked pass over the Year Event Table — an uncertainty band costs
+  roughly one batched pricing call instead of ``R`` engine invocations.
 """
 
 from repro.uncertainty.analysis import (

@@ -21,7 +21,13 @@ from repro.financial.terms import FinancialTerms
 from repro.utils.arrays import as_float_array, as_int_array
 from repro.utils.rng import RNGLike, derive_rng
 
-__all__ = ["LossDistributionFamily", "UncertainEventLossTable"]
+__all__ = ["LossDistributionFamily", "UncertainEventLossTable", "MIN_SAMPLED_CV"]
+
+#: Smallest coefficient of variation that is actually sampled.  Below this,
+#: ``1 / cv**2`` (the gamma shape) overflows float64 and the draw would be
+#: NaN; such records are deterministic to double precision anyway and are
+#: pinned to their mean — the exact ``cv -> 0`` limit.
+MIN_SAMPLED_CV: float = float(np.sqrt(np.finfo(np.float64).tiny))
 
 
 class LossDistributionFamily(enum.Enum):
@@ -113,17 +119,21 @@ class UncertainEventLossTable:
             self.event_ids, self.mean_losses, self.catalog_size, self.terms, self.name
         )
 
-    def sample_elt(self, rng: RNGLike = None) -> EventLossTable:
+    def sample_losses(self, rng: RNGLike = None) -> np.ndarray:
         """Draw one realisation of every event's conditional loss.
 
         Events with zero coefficient of variation keep their mean loss; zero
-        mean losses stay zero regardless of the CV.
+        mean losses stay zero regardless of the CV.  Returns the sampled loss
+        vector aligned with :attr:`event_ids`.  This is the single point at
+        which the analysis consumes randomness: both the per-replication
+        replay loop and the batched replication engine draw through it, so a
+        shared child stream yields bit-identical realisations on either path.
         """
         generator = derive_rng(rng)
         means = self.mean_losses
         cvs = self.cv_losses
         sampled = means.copy()
-        active = (cvs > 0.0) & (means > 0.0)
+        active = (cvs >= MIN_SAMPLED_CV) & (means > 0.0)
         if np.any(active):
             m = means[active]
             cv = cvs[active]
@@ -137,8 +147,12 @@ class UncertainEventLossTable:
                 sampled[active] = generator.lognormal(mu, sigma)
             else:  # pragma: no cover - exhaustive enum
                 raise ValueError(f"unknown family {self.family}")
+        return sampled
+
+    def sample_elt(self, rng: RNGLike = None) -> EventLossTable:
+        """One realisation of the table as a standard :class:`EventLossTable`."""
         return EventLossTable(
-            self.event_ids, sampled, self.catalog_size, self.terms, self.name
+            self.event_ids, self.sample_losses(rng), self.catalog_size, self.terms, self.name
         )
 
     @classmethod

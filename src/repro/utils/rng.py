@@ -57,23 +57,38 @@ def derive_rng(seed: RNGLike = None) -> np.random.Generator:
     )
 
 
-def spawn_rngs(seed: RNGLike, count: int) -> list[np.random.Generator]:
+def spawn_rngs(seed: RNGLike, count: int, start: int = 0) -> list[np.random.Generator]:
     """Spawn ``count`` statistically independent generators from one seed.
 
-    Used to hand each parallel worker (process or simulated GPU block) its own
-    stream so that results do not depend on the number of workers.
+    Used to hand each parallel worker (process or simulated GPU block) — and
+    each replication of a secondary-uncertainty analysis — its own stream so
+    that results do not depend on the number of workers or on how the
+    replications are blocked.
+
+    The children are *prefix-stable*: child ``i`` depends only on the root
+    seed and on ``i``, never on ``count`` or ``start``.  Hence
+    ``spawn_rngs(s, 8)[3]`` and ``spawn_rngs(s, 2, start=3)[0]`` draw
+    identical streams, which is what lets the streamed replication path
+    sample block by block and still reproduce the all-at-once draws exactly.
 
     Parameters
     ----------
     seed:
         Root seed.  If a ``Generator`` is passed its underlying bit generator
         seed sequence is *not* recoverable, so a fresh ``SeedSequence`` is
-        created from its output — still deterministic for a seeded generator.
+        created from its output — still deterministic for a seeded generator
+        (but note the generator is advanced, so prefix stability across
+        *calls* only holds for int and ``SeedSequence`` seeds).
     count:
         Number of independent child generators to create.
+    start:
+        Index of the first child stream to return; the result covers children
+        ``start .. start + count - 1`` of the root seed.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
+    if start < 0:
+        raise ValueError(f"start must be non-negative, got {start}")
     if isinstance(seed, np.random.SeedSequence):
         root = seed
     elif isinstance(seed, np.random.Generator):
@@ -82,7 +97,20 @@ def spawn_rngs(seed: RNGLike, count: int) -> list[np.random.Generator]:
         root = np.random.SeedSequence()
     else:
         root = np.random.SeedSequence(int(seed))
-    return [np.random.default_rng(child) for child in root.spawn(count)]
+    # Children are built directly from the root's entropy instead of via
+    # ``root.spawn`` so that (a) a caller-owned SeedSequence's spawn counter
+    # is left untouched and (b) child ``i`` never depends on how many
+    # children earlier calls asked for — the prefix-stability guarantee.
+    spawn_key = tuple(root.spawn_key)
+    children = [
+        np.random.SeedSequence(
+            entropy=root.entropy,
+            spawn_key=spawn_key + (start + i,),
+            pool_size=root.pool_size,
+        )
+        for i in range(count)
+    ]
+    return [np.random.default_rng(child) for child in children]
 
 
 class SeedSequenceFactory:

@@ -23,6 +23,17 @@ class TestParser:
         args = build_parser().parse_args(["run"])
         assert args.batch == 0
 
+    def test_uncertainty_defaults(self):
+        args = build_parser().parse_args(["uncertainty"])
+        assert args.replications == 64
+        assert args.method == "batched"
+        assert args.block == 0
+        assert args.cv == pytest.approx(0.6)
+
+    def test_uncertainty_rejects_non_positive_replications(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["uncertainty", "--replications", "0"])
+
 
 class TestCommands:
     def test_run_tiny(self, capsys):
@@ -57,6 +68,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PML by return period" in out
         assert "50 yr" in out
+
+    def test_uncertainty_banded_metrics(self, capsys):
+        assert main([
+            "uncertainty", "--preset", "tiny", "--replications", "6",
+            "--seed", "11", "--return-periods", "5,20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "6 replications" in out
+        assert "via batched on vectorized" in out
+        for metric in ("aal", "pml_5", "pml_20", "tvar_0.99"):
+            assert metric in out
+        assert "aal_band=" in out
+
+    def test_uncertainty_replay_matches_batched(self, capsys):
+        args = ["uncertainty", "--preset", "tiny", "--replications", "4", "--seed", "3"]
+        assert main(args + ["--method", "batched"]) == 0
+        batched = capsys.readouterr().out
+        assert main(args + ["--method", "replay"]) == 0
+        replay = capsys.readouterr().out
+        # Identical draws: every metric row agrees (only the header differs).
+        batched_rows = [l for l in batched.splitlines() if l.startswith(("aal", "pml", "tvar"))]
+        replay_rows = [l for l in replay.splitlines() if l.startswith(("aal", "pml", "tvar"))]
+        assert batched_rows == replay_rows
+
+    def test_uncertainty_streamed_blocks(self, capsys):
+        assert main([
+            "uncertainty", "--preset", "tiny", "--replications", "5",
+            "--seed", "2", "--block", "2", "--backend", "chunked",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "block=2" in out
+        assert "on chunked" in out
+
+    def test_uncertainty_batched_rejects_unstacked_backend(self, capsys):
+        assert main([
+            "uncertainty", "--preset", "tiny", "--replications", "2",
+            "--backend", "gpu",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "no stacked execution path" in err
+        # ... while the replay oracle runs on any backend.
+        assert main([
+            "uncertainty", "--preset", "tiny", "--replications", "2",
+            "--backend", "sequential", "--method", "replay", "--seed", "1",
+        ]) == 0
+
+    def test_uncertainty_lognormal_family(self, capsys):
+        assert main([
+            "uncertainty", "--preset", "tiny", "--replications", "3",
+            "--seed", "1", "--family", "lognormal", "--cv", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lognormal" in out
 
     def test_generate_writes_yet(self, tmp_path, capsys):
         out_path = tmp_path / "tiny_yet"

@@ -58,6 +58,54 @@ class TestSpawnRngs:
         with pytest.raises(ValueError):
             spawn_rngs(5, -1)
 
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(5, 1, start=-1)
+
+
+class TestSpawnRngsDeterminism:
+    """Regression: child streams are prefix-stable, so the streamed
+    replication path draws identically for any block size / worker count."""
+
+    def test_child_streams_independent_of_count(self):
+        full = [rng.random(4) for rng in spawn_rngs(123, 8)]
+        short = [rng.random(4) for rng in spawn_rngs(123, 3)]
+        for a, b in zip(short, full):
+            np.testing.assert_array_equal(a, b)
+
+    def test_start_slices_the_same_streams(self):
+        full = [rng.random(4) for rng in spawn_rngs(123, 8)]
+        for start in (0, 2, 5, 7):
+            tail = [rng.random(4) for rng in spawn_rngs(123, 8 - start, start=start)]
+            for offset, draws in enumerate(tail):
+                np.testing.assert_array_equal(draws, full[start + offset])
+
+    def test_blocked_spawning_reproduces_all_at_once(self):
+        """Drawing replications block by block equals one up-front spawn."""
+        all_at_once = [rng.random() for rng in spawn_rngs(9, 12)]
+        for block in (1, 3, 5, 12):
+            blocked = []
+            for start in range(0, 12, block):
+                count = min(block, 12 - start)
+                blocked.extend(r.random() for r in spawn_rngs(9, count, start=start))
+            assert blocked == all_at_once
+
+    def test_matches_numpy_seedsequence_spawn(self):
+        """Children agree with numpy's own SeedSequence.spawn layout."""
+        ours = [rng.random() for rng in spawn_rngs(31, 5)]
+        reference = [
+            np.random.default_rng(child).random()
+            for child in np.random.SeedSequence(31).spawn(5)
+        ]
+        assert ours == reference
+
+    def test_seed_sequence_input_not_mutated(self):
+        seq = np.random.SeedSequence(17)
+        first = [rng.random() for rng in spawn_rngs(seq, 4)]
+        second = [rng.random() for rng in spawn_rngs(seq, 4)]
+        assert first == second
+        assert seq.n_children_spawned == 0
+
 
 class TestSeedSequenceFactory:
     def test_same_name_same_stream(self):
