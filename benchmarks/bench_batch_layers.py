@@ -21,6 +21,7 @@ import pytest
 from repro.core.config import EngineConfig
 
 from .conftest import build_workload, run_engine
+from .record import record_benchmark
 
 LAYER_SWEEP = (4, 16, 32)
 
@@ -100,6 +101,21 @@ def test_fused_speedup_at_16_layers():
     fused_seconds = _best_of(5, lambda: run_engine(workload, fused_config))
     perlayer_seconds = _best_of(5, lambda: run_engine(workload, perlayer_config))
     speedup = perlayer_seconds / fused_seconds
+    record_benchmark(
+        "batch_layers",
+        backend="vectorized",
+        shape={
+            "n_trials": BATCH_TRIALS,
+            "events_per_trial": BATCH_EVENTS,
+            "n_layers": 16,
+            "elts_per_layer": BATCH_ELTS,
+            "catalog_size": BATCH_CATALOG,
+        },
+        baseline_seconds=perlayer_seconds,
+        candidate_seconds=fused_seconds,
+        threshold=1.5,
+        meta={"baseline": "per-layer loop", "candidate": "fused stacked gather"},
+    )
     print(
         f"\n16 layers x {BATCH_TRIALS} trials: per-layer {perlayer_seconds * 1e3:.1f} ms, "
         f"fused {fused_seconds * 1e3:.1f} ms -> {speedup:.2f}x"

@@ -1,0 +1,150 @@
+"""Shared-memory vs pickling transport of the multicore plan scheduler.
+
+The multicore backend's plan scheduler publishes the fused loss stack and
+the YET columns through :class:`~repro.parallel.shared_memory.SharedArray`
+segments, so workers *attach* zero-copy views; the legacy transport pickles
+those arrays once per worker (``EngineConfig.shared_memory="off"``).  This
+harness measures what the zero-copy hand-off buys on a portable
+(non-``fork``) start method, where the pickling cost is actually paid.
+
+Shape: the trial/event axes of ``bench_batch_layers`` (800 trials x 60
+events) under a much wider row axis (64 layers) and a catalog grown toward
+the paper's 2-million-event scale (160k entries), because the transported
+payload — the ``n_rows x catalog_size`` stack, ~80 MB here — is exactly the
+quantity the two transports differ on.  ELTs per layer are kept low: they
+only affect stack *construction*, which both transports share.
+
+Measurements:
+
+* ``test_sharedmem_vs_pickle_transport`` — pytest-benchmark pair over the
+  two transports (runs under ``--benchmark-only``);
+* ``test_sharedmem_speedup_at_8_workers`` — a plain assertion (runs without
+  ``--benchmark-only``) that the shared-memory transport is at least 1.3x
+  faster than the pickling transport at 8 workers, recorded in
+  ``BENCH_plan_sharedmem.json``.  Correctness is cross-checked first: both
+  transports must produce bit-identical Year Loss Tables.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+
+from .conftest import build_workload
+from .record import record_benchmark
+
+#: Trial/event axes of bench_batch_layers; the row axis is what grows here.
+SHM_TRIALS = 800
+SHM_EVENTS = 60
+SHM_LAYERS = 64
+SHM_ELTS = 2
+#: Catalog grown toward the paper's 2M-event scale: the transported stack is
+#: n_layers x catalog_size doubles (~80 MB), the axis the transports differ on.
+SHM_CATALOG = 160_000
+
+N_WORKERS = 8
+#: Portable start method: workers cannot inherit the parent's memory, so the
+#: stack must be transported — by pickling or by shared-memory attach.
+START_METHOD = "forkserver"
+
+
+def _workload():
+    return build_workload(
+        n_trials=SHM_TRIALS,
+        events_per_trial=SHM_EVENTS,
+        n_layers=SHM_LAYERS,
+        elts_per_layer=SHM_ELTS,
+        catalog_size=SHM_CATALOG,
+    )
+
+
+def _engine(shared_memory: str) -> AggregateRiskEngine:
+    return AggregateRiskEngine(
+        EngineConfig(
+            backend="multicore",
+            n_workers=N_WORKERS,
+            start_method=START_METHOD,
+            shared_memory=shared_memory,
+        )
+    )
+
+
+def _prime(workload) -> None:
+    """Materialise the layer caches so only pricing + transport is measured."""
+    for layer in workload.program.layers:
+        layer.loss_matrix().combined_net_losses()
+
+
+@pytest.mark.benchmark(group="plan-sharedmem")
+@pytest.mark.parametrize("shared_memory", ["off", "on"], ids=["pickle", "sharedmem"])
+def test_sharedmem_vs_pickle_transport(benchmark, shared_memory):
+    workload = _workload()
+    _prime(workload)
+    engine = _engine(shared_memory)
+    engine.run(workload.program, workload.yet)  # warm the fork server
+    result = benchmark(lambda: engine.run(workload.program, workload.yet))
+    benchmark.extra_info["shared_memory"] = shared_memory
+    benchmark.extra_info["n_workers"] = N_WORKERS
+    benchmark.extra_info["trials_per_second"] = result.trials_per_second
+
+
+def _best_of(n_repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n_repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sharedmem_speedup_at_8_workers():
+    """Acceptance: shared-memory transport >= 1.3x the pickling path at 8 workers."""
+    workload = _workload()
+    _prime(workload)
+    shm_engine = _engine("on")
+    pickle_engine = _engine("off")
+
+    # Warm-up (starts the fork server) and the correctness cross-check: the
+    # transport must never change the numbers, bit for bit.
+    shm_result = shm_engine.run(workload.program, workload.yet)
+    pickle_result = pickle_engine.run(workload.program, workload.yet)
+    assert shm_result.details["shared_memory"] is True
+    assert pickle_result.details["shared_memory"] is False
+    np.testing.assert_array_equal(shm_result.ylt.losses, pickle_result.ylt.losses)
+
+    shm_seconds = _best_of(3, lambda: shm_engine.run(workload.program, workload.yet))
+    pickle_seconds = _best_of(3, lambda: pickle_engine.run(workload.program, workload.yet))
+    speedup = pickle_seconds / shm_seconds
+    record_benchmark(
+        "plan_sharedmem",
+        backend="multicore",
+        shape={
+            "n_trials": SHM_TRIALS,
+            "events_per_trial": SHM_EVENTS,
+            "n_layers": SHM_LAYERS,
+            "elts_per_layer": SHM_ELTS,
+            "catalog_size": SHM_CATALOG,
+            "n_workers": N_WORKERS,
+            "start_method": START_METHOD,
+        },
+        baseline_seconds=pickle_seconds,
+        candidate_seconds=shm_seconds,
+        threshold=1.3,
+        meta={
+            "baseline": "per-worker pickling transport (shared_memory=off)",
+            "candidate": "zero-copy shared-memory attach (shared_memory=on)",
+            "stack_bytes": SHM_LAYERS * SHM_CATALOG * 8,
+        },
+    )
+    print(
+        f"\n{SHM_LAYERS} rows x {SHM_CATALOG} catalog @ {N_WORKERS} workers "
+        f"({START_METHOD}): pickle {pickle_seconds:.2f}s, shared-memory "
+        f"{shm_seconds:.2f}s -> {speedup:.2f}x"
+    )
+    assert speedup >= 1.3, (
+        f"shared-memory transport only {speedup:.2f}x faster than pickling "
+        f"at {N_WORKERS} workers (expected >= 1.3x)"
+    )

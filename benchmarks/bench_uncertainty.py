@@ -28,6 +28,7 @@ from repro.uncertainty import (
 )
 
 from .conftest import build_workload
+from .record import record_benchmark
 
 REPLICATION_SWEEP = (8, 32)
 
@@ -118,6 +119,21 @@ def test_batched_speedup_at_64_replications():
         3, lambda: analysis.run_batched(yet, 64, rng=SEED, method="replay")
     )
     speedup = replay_seconds / batched_seconds
+    record_benchmark(
+        "uncertainty",
+        backend="vectorized",
+        shape={
+            "n_trials": UNC_TRIALS,
+            "events_per_trial": UNC_EVENTS,
+            "elts_per_layer": UNC_ELTS,
+            "catalog_size": UNC_CATALOG,
+            "n_replications": 64,
+        },
+        baseline_seconds=replay_seconds,
+        candidate_seconds=batched_seconds,
+        threshold=3.0,
+        meta={"baseline": "per-replication replay", "candidate": "replication-batched"},
+    )
     print(
         f"\n64 replications x {UNC_TRIALS} trials x {UNC_ELTS} ELTs: "
         f"replay {replay_seconds * 1e3:.1f} ms, batched {batched_seconds * 1e3:.1f} ms "

@@ -1,0 +1,97 @@
+"""Machine-readable benchmark records.
+
+Every headline benchmark writes a ``BENCH_<name>.json`` file next to the
+repository root (override with the ``ARE_BENCH_DIR`` environment variable)
+so the performance trajectory is tracked across PRs instead of living only
+in log output.  CI uploads the files as build artifacts.
+
+The record schema is deliberately flat and stable::
+
+    {
+      "name": "batch_layers",
+      "backend": "vectorized",
+      "shape": {"n_trials": 800, "n_layers": 16, ...},
+      "baseline_seconds": 0.123,     # the slower / reference configuration
+      "candidate_seconds": 0.045,    # the optimised configuration
+      "speedup": 2.73,
+      "threshold": 1.5,              # the acceptance criterion asserted on
+      "meta": {...},                 # free-form benchmark specifics
+      "python": "3.11.7",
+      "recorded_at": "2026-07-30T12:34:56+00:00"
+    }
+
+Use :func:`record_benchmark` from a benchmark body after measuring::
+
+    record_benchmark(
+        "batch_layers",
+        backend="vectorized",
+        shape={"n_trials": 800, "n_layers": 16},
+        baseline_seconds=perlayer, candidate_seconds=fused,
+        threshold=1.5,
+    )
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["bench_output_dir", "record_benchmark"]
+
+#: Environment variable overriding where BENCH_*.json files are written.
+ENV_BENCH_DIR = "ARE_BENCH_DIR"
+
+
+def bench_output_dir() -> Path:
+    """Directory BENCH_*.json records are written to (repo root by default)."""
+    override = os.environ.get(ENV_BENCH_DIR)
+    if override:
+        return Path(override)
+    # benchmarks/record.py lives one level below the repository root.
+    return Path(__file__).resolve().parent.parent
+
+
+def record_benchmark(
+    name: str,
+    *,
+    backend: str,
+    shape: Mapping[str, Any],
+    baseline_seconds: float,
+    candidate_seconds: float,
+    threshold: float | None = None,
+    meta: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``baseline_seconds`` is the reference configuration's wall time and
+    ``candidate_seconds`` the optimised configuration's; ``speedup`` is
+    recorded as their ratio.  ``threshold`` documents the acceptance
+    criterion the benchmark asserts (``None`` for purely informational
+    records).
+    """
+    if not name or any(ch in name for ch in "/\\"):
+        raise ValueError(f"invalid benchmark name {name!r}")
+    if baseline_seconds <= 0 or candidate_seconds <= 0:
+        raise ValueError("benchmark timings must be positive")
+
+    record = {
+        "name": name,
+        "backend": backend,
+        "shape": dict(shape),
+        "baseline_seconds": float(baseline_seconds),
+        "candidate_seconds": float(candidate_seconds),
+        "speedup": float(baseline_seconds / candidate_seconds),
+        "threshold": float(threshold) if threshold is not None else None,
+        "meta": dict(meta) if meta else {},
+        "python": platform.python_version(),
+        "recorded_at": _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds"),
+    }
+    directory = bench_output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

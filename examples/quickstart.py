@@ -12,7 +12,16 @@ This is the 60-second tour of the library:
    ``run_many`` invocation (the fused multi-layer path),
 5. quote the program with secondary-uncertainty bands: every ELT loss becomes
    a distribution and all replications are priced in one replication-batched
-   stacked pass (CLI equivalent: ``are uncertainty --replications 32``).
+   stacked pass (CLI equivalent: ``are uncertainty --replications 32``),
+6. stream a wider term sweep through the PortfolioSweepService: the variants
+   lower to one ExecutionPlan per block — identical ELT gathers are shared
+   across variants — and quotes stream out block by block (CLI equivalent:
+   ``are sweep --variants 6 --block-rows 4``).
+
+Every entry point above lowers to the same ExecutionPlan IR (one workload
+description of tiles over trial blocks x stacked layer rows) that all five
+backends schedule; power users can build plans directly with
+``PlanBuilder`` and execute them via ``engine.run_plan(plan)``.
 
 Run with::
 
@@ -23,7 +32,7 @@ from __future__ import annotations
 
 from repro import AggregateRiskEngine, EngineConfig
 from repro.financial.terms import LayerTerms
-from repro.portfolio import ReinsuranceProgram, batch_quote
+from repro.portfolio import PortfolioSweepService, ReinsuranceProgram, batch_quote
 from repro.uncertainty import (
     SecondaryUncertaintyAnalysis,
     UncertainEventLossTable,
@@ -117,6 +126,37 @@ def main() -> None:
     print(f"   AAL band: mean={aal_band.mean:,.0f} "
           f"p5={aal_band.low:,.0f} p95={aal_band.high:,.0f} "
           f"(relative spread {aal_band.relative_spread():.1%})")
+
+    # ------------------------------------------------------------------ #
+    # 6. Streaming sweep: quote a wider term grid block by block.  Each
+    #    block is one ExecutionPlan — the variants' layers share their ELT
+    #    objects, so the plan dedupes their term-netted stack rows and the
+    #    fused gather reads each distinct row once per block.  The generator
+    #    yields quotes while later blocks are still pending, keeping the
+    #    working set at one block's stack however long the sweep is.
+    # ------------------------------------------------------------------ #
+    grid = []
+    for i in range(6):
+        scale = 0.8 + 0.1 * i
+        layers = [
+            lyr.with_terms(
+                LayerTerms(
+                    occurrence_retention=lyr.terms.occurrence_retention * scale,
+                    occurrence_limit=lyr.terms.occurrence_limit,
+                    aggregate_retention=lyr.terms.aggregate_retention,
+                    aggregate_limit=lyr.terms.aggregate_limit,
+                )
+            )
+            for lyr in workload.program.layers
+        ]
+        grid.append(ReinsuranceProgram(layers, name=f"grid x{scale:.1f}"))
+
+    service = PortfolioSweepService(AggregateRiskEngine())
+    print("\nStreaming sweep (6 variants, <= 4 rows per engine pass):")
+    for block in service.sweep(grid, workload.yet, max_rows_per_block=4):
+        print("  ", block.summary())
+        for quote in block.quotes:
+            print("    ", quote.summary())
 
 
 if __name__ == "__main__":

@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Five subcommands cover the everyday operations of the library::
+Six subcommands cover the everyday operations of the library::
 
     are generate --preset bench --out yet.npz     # simulate & store a YET
     are run --preset bench --backend vectorized   # run an aggregate analysis
     are run --preset bench --batch 8              # batch-price 8 term variants
+    are sweep --variants 32 --block-rows 16       # stream a quote sweep
     are metrics --preset bench                    # run + print PML/TVaR report
     are uncertainty --replications 64 --cv 0.6    # replication-banded metrics
     are project --trials 1000000                  # full-scale runtime projection
@@ -13,6 +14,12 @@ Five subcommands cover the everyday operations of the library::
 variants of the preset's program are priced in *one* engine invocation (their
 layers all flow through the fused multi-layer kernel together) and a quote
 line is printed per variant.
+
+``sweep`` is the streaming form of the same scenario, backed by
+:class:`~repro.portfolio.sweep.PortfolioSweepService`: the variants are
+grouped into row-bounded blocks, each block lowers to one ExecutionPlan
+(identical ELT gathers deduplicated across variants) and quotes stream out
+block by block — the many-quotes-from-one-engine-pass serving path.
 
 ``uncertainty`` wraps the preset program's ELTs with per-event loss
 distributions and runs the replication-batched secondary-uncertainty engine:
@@ -38,6 +45,7 @@ from repro.financial.terms import LayerTerms
 from repro.parallel.device import WorkloadShape
 from repro.portfolio.pricing import price_program
 from repro.portfolio.program import ReinsuranceProgram
+from repro.portfolio.sweep import PortfolioSweepService
 from repro.uncertainty import (
     LossDistributionFamily,
     SecondaryUncertaintyAnalysis,
@@ -91,6 +99,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch mode: price N candidate-term variants of the preset program "
              "in one fused engine invocation and print a quote per variant "
              "(0 = normal single run)",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="stream a portfolio sweep: many term variants quoted block by block",
+    )
+    _add_run_arguments(sweep)
+    sweep.add_argument(
+        "--variants", type=_positive_int, default=8, metavar="N",
+        help="number of candidate-term variants to sweep (default 8)",
+    )
+    sweep.add_argument(
+        "--block-rows", type=_non_negative_int, default=0, metavar="R",
+        help="bound one engine pass to R stacked rows "
+             "(0 = the whole sweep in a single block)",
+    )
+    sweep.add_argument(
+        "--no-dedupe", action="store_true",
+        help="disable sharing of identical ELT gathers across variants",
     )
 
     metrics = subparsers.add_parser("metrics", help="run an analysis and print the risk report")
@@ -236,6 +263,33 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    variants = _candidate_variants(workload.program, args.variants)
+    service = PortfolioSweepService(
+        AggregateRiskEngine(_build_config(args))
+    )
+    print(f"workload : {workload.summary()}")
+    print(f"sweep    : {len(variants)} variants x {workload.program.n_layers} layers "
+          f"on {args.backend}"
+          + (f", <= {args.block_rows} rows/block" if args.block_rows else ", one block"))
+    wall = Timer().start()
+    n_quotes = 0
+    for block in service.sweep(
+        variants,
+        workload.yet,
+        max_rows_per_block=args.block_rows,
+        dedupe=not args.no_dedupe,
+    ):
+        print(f"  {block.summary()}")
+        for quote in block.quotes:
+            print(f"    {quote.summary()}")
+            n_quotes += 1
+    seconds = wall.stop()
+    print(f"total    : {n_quotes} quotes in {seconds:.4f}s")
+    return 0
+
+
 def _command_metrics(args: argparse.Namespace) -> int:
     workload = _build_workload(args)
     engine = AggregateRiskEngine(_build_config(args))
@@ -327,6 +381,7 @@ def _command_project(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _command_generate,
     "run": _command_run,
+    "sweep": _command_sweep,
     "metrics": _command_metrics,
     "uncertainty": _command_uncertainty,
     "project": _command_project,

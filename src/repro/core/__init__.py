@@ -33,6 +33,7 @@ from repro.core.config import EngineConfig
 from repro.core.engine import AggregateRiskEngine, available_backends
 from repro.core.gpu_sim import GPUSimulatedEngine
 from repro.core.multicore import MulticoreEngine
+from repro.core.plan import ExecutionPlan, PlanBuilder, PlanSegment
 from repro.core.phases import (
     PHASE_ELT_LOOKUP,
     PHASE_EVENT_FETCH,
@@ -47,6 +48,9 @@ __all__ = [
     "AggregateRiskEngine",
     "EngineConfig",
     "EngineResult",
+    "ExecutionPlan",
+    "PlanBuilder",
+    "PlanSegment",
     "available_backends",
     "SequentialEngine",
     "VectorizedEngine",

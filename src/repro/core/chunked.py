@@ -1,34 +1,39 @@
 """Chunked backend: the CPU analogue of the optimised GPU kernel.
 
-The vectorized backend materialises an ``(n_elts, total_events)`` gather
+The vectorized backend materialises an ``(n_rows, total_events)`` gather
 buffer; for the paper's full-scale workload (15 ELTs x 10^9 events) that is
 120 GB — exactly the kind of working set the optimised GPU kernel avoids by
 staging fixed-size chunks through shared memory.  This backend applies the
 same idea on the CPU: the flattened event stream is processed in chunks of
 ``EngineConfig.chunk_events`` occurrences, bounding the temporary buffer to
-``n_elts x chunk_events`` doubles (and, as a pleasant side effect, keeping it
+``n_rows x chunk_events`` doubles (and, as a pleasant side effect, keeping it
 inside the last-level cache for realistic chunk sizes).
 
 With ``EngineConfig.fused_layers`` (the default) the chunking happens inside
-the fused multi-layer kernel: all layers are gathered from the stacked
-``(n_layers, catalog_size)`` loss matrix chunk by chunk and the per-trial
+the fused multi-layer kernel: all plan rows are gathered from the stacked
+``(n_rows, catalog_size)`` loss matrix chunk by chunk and the per-trial
 reductions are accumulated as each chunk is processed, so the working set is
-``n_layers x chunk_events`` doubles (plus the output tables) and each chunk
-of the YET is touched once for the whole program instead of once per layer.
+``n_rows x chunk_events`` doubles (plus the output tables) and each chunk
+of the YET is touched once for the whole plan instead of once per layer.
 The streaming accumulation needs the telescoped aggregate shortcut; the
-``use_aggregate_shortcut=False`` ablation falls back to the per-layer loop.
+``use_aggregate_shortcut=False`` ablation falls back to the per-layer loop
+(or, for synthetic stacks, to one unchunked cumulative pass).
+
+:meth:`ChunkedEngine.run_plan` schedules the unified
+:class:`~repro.core.plan.ExecutionPlan` IR by streaming the plan's single
+row-complete tile through event chunks; :meth:`ChunkedEngine.run` is the
+legacy per-backend dispatch, kept one release behind the plan-vs-legacy
+conformance suite.
 """
 
 from __future__ import annotations
-
-from typing import Sequence
 
 import numpy as np
 
 from repro.core.config import EngineConfig
 from repro.core.kernels import layer_trial_losses_batch, layer_trial_losses_chunked
+from repro.core.plan import ExecutionPlan, finalize_plan_result
 from repro.core.results import EngineResult
-from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.parallel.device import WorkloadShape
 from repro.portfolio.layer import Layer
 from repro.portfolio.program import ReinsuranceProgram
@@ -47,8 +52,60 @@ class ChunkedEngine:
     def __init__(self, config: EngineConfig | None = None) -> None:
         self.config = config if config is not None else EngineConfig(backend="chunked")
 
+    # ------------------------------------------------------------------ #
+    # Plan scheduler
+    # ------------------------------------------------------------------ #
+    def run_plan(self, plan: ExecutionPlan) -> EngineResult:
+        """Execute an :class:`~repro.core.plan.ExecutionPlan`, streaming events."""
+        config = self.config
+        timer = PhaseTimer(enabled=config.record_phases)
+        wall = Timer().start()
+
+        # Fused streaming needs the telescoped shortcut; programs fall back
+        # to the per-layer chunked loop without it, while a synthetic stack
+        # (no per-layer matrices to fall back to) is priced by the fused
+        # kernel in one unchunked cumulative pass instead.
+        synthetic = not plan.has_layers
+        fused = synthetic or (config.fused_layers and config.use_aggregate_shortcut)
+        if fused:
+            chunk_events = config.chunk_events if config.use_aggregate_shortcut else None
+            losses, max_occ = layer_trial_losses_batch(
+                (),
+                plan.yet.event_ids,
+                plan.yet.trial_offsets,
+                plan.terms,
+                use_shortcut=config.use_aggregate_shortcut,
+                record_max_occurrence=config.record_max_occurrence,
+                timer=timer,
+                chunk_events=chunk_events,
+                stack=plan.stack(timer),
+                row_map=plan.row_map,
+            )
+        else:
+            chunk_events = config.chunk_events
+            losses, max_occ = _per_layer_chunked_losses(plan, config, timer)
+
+        return finalize_plan_result(
+            plan,
+            self.name,
+            losses,
+            max_occ,
+            wall.stop(),
+            {"chunk_events": chunk_events, "fused_layers": fused},
+            phase_breakdown=timer.breakdown() if config.record_phases else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Legacy dispatch (one release behind the plan path)
+    # ------------------------------------------------------------------ #
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
-        """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
+        """Run the aggregate analysis for every layer of ``program`` over ``yet``.
+
+        .. deprecated::
+            This is the pre-plan dispatch, retained for the plan-vs-legacy
+            conformance suite (``EngineConfig(execution="legacy")``); it will
+            be removed once the deprecation window closes.
+        """
         program = ReinsuranceProgram.wrap(program)
         config = self.config
         timer = PhaseTimer(enabled=config.record_phases)
@@ -108,52 +165,29 @@ class ChunkedEngine:
             },
         )
 
-    def run_stacked(
-        self,
-        stack: np.ndarray,
-        terms: Sequence[LayerTerms] | LayerTermsVectors,
-        yet: YearEventTable,
-        layer_names: Sequence[str] | None = None,
-    ) -> EngineResult:
-        """Price precomputed term-netted stack rows, streaming the YET.
 
-        Same contract as :meth:`VectorizedEngine.run_stacked`, but the event
-        stream is processed in ``chunk_events``-sized chunks so the gather
-        buffer stays at ``n_rows x chunk_events`` doubles.  The streaming
-        accumulation needs the telescoped aggregate shortcut; under the
-        ``use_aggregate_shortcut=False`` ablation the rows are priced in one
-        unchunked cumulative pass instead.
-        """
-        config = self.config
-        timer = PhaseTimer(enabled=config.record_phases)
-        wall = Timer().start()
-        losses, max_occ = layer_trial_losses_batch(
-            (),
-            yet.event_ids,
-            yet.trial_offsets,
-            terms,
+def _per_layer_chunked_losses(
+    plan: ExecutionPlan, config: EngineConfig, timer: PhaseTimer
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Per-row chunked loop: the ``fused_layers=False`` / cumulative ablation."""
+    losses = np.zeros((plan.n_rows, plan.n_trials), dtype=np.float64)
+    max_occ = (
+        np.zeros((plan.n_rows, plan.n_trials), dtype=np.float64)
+        if config.record_max_occurrence
+        else None
+    )
+    for row, layer in enumerate(plan.layers):
+        year_losses, trial_max = layer_trial_losses_chunked(
+            layer.loss_matrix(),
+            plan.yet.event_ids,
+            plan.yet.trial_offsets,
+            layer.terms,
+            chunk_events=config.chunk_events,
             use_shortcut=config.use_aggregate_shortcut,
             record_max_occurrence=config.record_max_occurrence,
             timer=timer,
-            chunk_events=config.chunk_events if config.use_aggregate_shortcut else None,
-            stack=stack,
         )
-        wall_seconds = wall.stop()
-        shape = WorkloadShape(
-            n_trials=yet.n_trials,
-            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
-            n_elts=1,
-            n_layers=losses.shape[0],
-        )
-        return EngineResult(
-            ylt=YearLossTable(losses, layer_names, max_occ),
-            backend=self.name,
-            wall_seconds=wall_seconds,
-            workload_shape=shape,
-            phase_breakdown=timer.breakdown() if config.record_phases else None,
-            details={
-                "chunk_events": config.chunk_events,
-                "fused_layers": True,
-                "stacked": True,
-            },
-        )
+        losses[row] = year_losses
+        if max_occ is not None and trial_max is not None:
+            max_occ[row] = trial_max
+    return losses, max_occ

@@ -14,13 +14,32 @@ from typing import Any, Mapping
 from repro.parallel.device import GPUSpec
 from repro.parallel.scheduling import SchedulingPolicy
 
-__all__ = ["EngineConfig", "ELT_REPRESENTATIONS", "BACKEND_NAMES"]
+__all__ = [
+    "EngineConfig",
+    "ELT_REPRESENTATIONS",
+    "BACKEND_NAMES",
+    "EXECUTION_MODES",
+    "SHARED_MEMORY_MODES",
+]
 
 #: Lookup-structure choices for the sequential backend (Section III-B ablation).
 ELT_REPRESENTATIONS: tuple[str, ...] = ("direct", "sorted", "hashed")
 
 #: Names of the available engine backends.
 BACKEND_NAMES: tuple[str, ...] = ("sequential", "vectorized", "chunked", "multicore", "gpu")
+
+#: Facade dispatch modes: ``"plan"`` lowers every workload to an
+#: :class:`~repro.core.plan.ExecutionPlan` executed by the backend's plan
+#: scheduler; ``"legacy"`` routes ``run`` through the backend's original
+#: per-backend implementation (kept one release behind the plan-vs-legacy
+#: conformance suite, then removed).
+EXECUTION_MODES: tuple[str, ...] = ("plan", "legacy")
+
+#: Multicore transport of the plan's read-only arrays: ``"auto"`` publishes
+#: them through shared memory whenever workers cannot inherit the parent's
+#: address space (any start method except ``fork``), ``"on"``/``"off"`` force
+#: the choice.
+SHARED_MEMORY_MODES: tuple[str, ...] = ("auto", "on", "off")
 
 
 @dataclass(frozen=True)
@@ -31,6 +50,23 @@ class EngineConfig:
     ----------
     backend:
         One of :data:`BACKEND_NAMES`.
+    execution:
+        ``"plan"`` (default) lowers ``run`` to an
+        :class:`~repro.core.plan.ExecutionPlan` and executes it through the
+        backend's plan scheduler — the single code path shared with
+        ``run_many``, ``run_stacked`` and the portfolio sweep.  ``"legacy"``
+        dispatches ``run`` through the backend's original implementation;
+        it exists for the plan-vs-legacy conformance suite and will be
+        removed next release.
+    shared_memory:
+        How the multicore plan scheduler transports the fused loss stack and
+        the YET columns to its workers: ``"auto"`` (default) attaches them
+        zero-copy through :class:`~repro.parallel.shared_memory.SharedArray`
+        whenever workers cannot inherit the parent's memory (``spawn`` /
+        ``forkserver``), ``"on"`` forces shared memory even under ``fork``,
+        ``"off"`` forces the per-worker pickling transport (the benchmark
+        baseline).  A single-worker run executes in-process — no transport
+        exists, so every mode behaves like ``"off"`` there.
     elt_representation:
         ELT lookup structure used by the *sequential* backend: ``"direct"``
         (direct access table, the paper's choice), ``"sorted"`` (binary
@@ -89,6 +125,8 @@ class EngineConfig:
     """
 
     backend: str = "vectorized"
+    execution: str = "plan"
+    shared_memory: str = "auto"
     elt_representation: str = "direct"
     use_aggregate_shortcut: bool = True
     fused_layers: bool = True
@@ -110,6 +148,15 @@ class EngineConfig:
         if self.backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {self.execution!r}; expected one of {EXECUTION_MODES}"
+            )
+        if self.shared_memory not in SHARED_MEMORY_MODES:
+            raise ValueError(
+                f"unknown shared_memory mode {self.shared_memory!r}; "
+                f"expected one of {SHARED_MEMORY_MODES}"
             )
         if self.elt_representation not in ELT_REPRESENTATIONS:
             raise ValueError(

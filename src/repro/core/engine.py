@@ -1,7 +1,12 @@
 """The public engine facade.
 
-:class:`AggregateRiskEngine` selects and drives one of the five backends from
-an :class:`~repro.core.config.EngineConfig`.  Typical use::
+:class:`AggregateRiskEngine` selects one of the five backends from an
+:class:`~repro.core.config.EngineConfig` and drives it through the unified
+**ExecutionPlan** pipeline: every public workload is *lowered* to an
+:class:`~repro.core.plan.ExecutionPlan` (tiles over trial blocks x stacked
+term-netted layer rows) by a :class:`~repro.core.plan.PlanBuilder`, and the
+backend *schedules* that plan through the shared kernels — facade -> plan ->
+scheduler.  Typical use::
 
     from repro.core import AggregateRiskEngine, EngineConfig
 
@@ -12,9 +17,9 @@ an :class:`~repro.core.config.EngineConfig`.  Typical use::
 Many programs (e.g. an underwriter's candidate-term variants, or several
 cedants' submissions over one simulated event set) can be priced in a single
 engine invocation with :meth:`AggregateRiskEngine.run_many` — their layers
-are concatenated, the whole batch flows through the fused multi-layer kernel
-in one pass over the Year Event Table, and the result is split back per
-program::
+are concatenated into one plan (identical ELT gathers deduplicated across
+variants), the whole batch flows through the fused multi-layer kernel in one
+pass over the Year Event Table, and the result is split back per program::
 
     engine = AggregateRiskEngine()          # fused_layers=True by default
     results = engine.run_many([program_a, program_b], yet)
@@ -23,8 +28,13 @@ program::
 Workloads that synthesise their own term-netted loss rows — above all the
 replication-batched secondary-uncertainty engine, which samples ``R``
 realisations of a program and prices them as ``R x n_layers`` fused rows —
-enter through :meth:`AggregateRiskEngine.run_stacked`.  The resulting
-banded quote looks like::
+enter through :meth:`AggregateRiskEngine.run_stacked`; power users can build
+and execute plans directly via :class:`~repro.core.plan.PlanBuilder` and
+:meth:`AggregateRiskEngine.run_plan`.  Streaming many programs through
+blocks of one engine pass — the scenario-diversity path — is the job of
+:class:`~repro.portfolio.sweep.PortfolioSweepService` (CLI: ``are sweep``).
+
+The resulting banded quote of the uncertainty path looks like::
 
     analysis = SecondaryUncertaintyAnalysis(uncertain_layers)
     quote = analysis.quote(yet, n_replications=64, rng=2012)
@@ -32,6 +42,10 @@ banded quote looks like::
     print(quote.band("aal").relative_spread())
 
 (the CLI equivalent is ``are uncertainty --replications 64``).
+
+``EngineConfig(execution="legacy")`` routes :meth:`AggregateRiskEngine.run`
+through the pre-plan per-backend dispatch instead; it exists for the
+plan-vs-legacy conformance suite and will be removed next release.
 
 The facade also provides :meth:`AggregateRiskEngine.compare_backends`, which
 runs the same workload through several backends (optionally through both the
@@ -50,6 +64,7 @@ from repro.core.chunked import ChunkedEngine
 from repro.core.config import BACKEND_NAMES, EngineConfig
 from repro.core.gpu_sim import GPUSimulatedEngine
 from repro.core.multicore import MulticoreEngine
+from repro.core.plan import ExecutionPlan, PlanBuilder
 from repro.core.results import EngineResult
 from repro.core.sequential import SequentialEngine
 from repro.core.vectorized import VectorizedEngine
@@ -92,9 +107,23 @@ class AggregateRiskEngine:
         """Name of the selected backend."""
         return self.config.backend
 
+    def run_plan(self, plan: ExecutionPlan) -> EngineResult:
+        """Execute a prebuilt :class:`~repro.core.plan.ExecutionPlan`.
+
+        This is the single execution entry every other method funnels into:
+        ``run``/``run_many``/``run_stacked`` only differ in how they *lower*
+        their workload to a plan.  The backend schedules the plan's tiles
+        through the shared kernels and returns the combined result (use
+        :meth:`ExecutionPlan.split_result` to break a multi-segment plan's
+        result back apart).
+        """
+        return self._backend.run_plan(plan)
+
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
         """Run the aggregate analysis and return the full result object."""
-        return self._backend.run(program, yet)
+        if self.config.execution == "legacy":
+            return self._backend.run(program, yet)
+        return self.run_plan(PlanBuilder.from_program(program, yet))
 
     def year_loss_table(self, program: ReinsuranceProgram | Layer, yet: YearEventTable):
         """Run the analysis and return only the Year Loss Table."""
@@ -104,49 +133,32 @@ class AggregateRiskEngine:
         self,
         programs: Sequence[ReinsuranceProgram | Layer],
         yet: YearEventTable,
+        dedupe: bool = True,
     ) -> List[EngineResult]:
         """Price many programs over one YET in a single engine invocation.
 
-        The programs' layers are concatenated into one combined program and
-        analysed in one backend run — with the default ``fused_layers``
-        configuration that means a single stacked gather covering *every*
-        layer of *every* program per pass over the Year Event Table.  The
-        combined result is then split back into one :class:`EngineResult`
-        per input program (each carrying the shared run's wall time and a
-        ``details["batch"]`` entry recording the batch shape).
+        The programs' layers are concatenated into one
+        :class:`~repro.core.plan.ExecutionPlan` and executed in one backend
+        run — with the default ``fused_layers`` configuration that means a
+        single stacked gather covering *every* layer of *every* program per
+        pass over the Year Event Table.  The combined result is then split
+        back into one :class:`EngineResult` per input program (each carrying
+        the shared run's wall time and a ``details["batch"]`` entry
+        recording the batch shape).
 
         All programs must reference the same event-catalog size (they are
-        priced against the same YET).  Layers are not deduplicated: if two
-        programs share a layer object its dense matrix is still only built
-        once thanks to the layer-level cache.
+        priced against the same YET).  With ``dedupe`` (the default) layers
+        of different programs that reference the same ELT objects — e.g.
+        candidate-term variants built with
+        :meth:`~repro.portfolio.layer.Layer.with_terms` — share one stack
+        row, so each distinct term-netted gather is read once regardless of
+        how many variants request it.
         """
         normalised = [ReinsuranceProgram.wrap(program) for program in programs]
         if not normalised:
             raise ValueError("run_many needs at least one program")
-
-        all_layers = [layer for program in normalised for layer in program.layers]
-        combined = ReinsuranceProgram(all_layers, name="batch")
-        result = self.run(combined, yet)
-
-        results: List[EngineResult] = []
-        start = 0
-        for index, program in enumerate(normalised):
-            stop = start + program.n_layers
-            results.append(
-                result.for_layer_subset(
-                    range(start, stop),
-                    extra_details={
-                        "batch": {
-                            "program": program.name,
-                            "index": index,
-                            "n_programs": len(normalised),
-                            "total_layers": combined.n_layers,
-                        }
-                    },
-                )
-            )
-            start = stop
-        return results
+        plan = PlanBuilder.from_programs(normalised, yet, dedupe=dedupe)
+        return plan.split_result(self.run_plan(plan))
 
     def run_stacked(
         self,
@@ -167,17 +179,13 @@ class AggregateRiskEngine:
         sampled realisations of a program as ``R * n_layers`` stacked rows
         through it in a single pass over the Year Event Table.
 
-        Supported by the vectorized, chunked and multicore backends (the
-        backends with a fused multi-layer path); the sequential and gpu
+        The workload lowers to a synthetic :class:`ExecutionPlan` (no source
+        layers), so it is supported by the backends with a fused path —
+        vectorized, chunked and multicore; the sequential and gpu reference
         backends raise ``ValueError``.
         """
-        runner = getattr(self._backend, "run_stacked", None)
-        if runner is None:
-            raise ValueError(
-                f"backend {self.config.backend!r} has no stacked execution path; "
-                "use one of the fused backends (vectorized, chunked, multicore)"
-            )
-        return runner(stack, terms, yet, layer_names=layer_names)
+        plan = PlanBuilder.from_stack(stack, terms, yet, row_names=layer_names)
+        return self.run_plan(plan)
 
     # ------------------------------------------------------------------ #
     # Cross-backend validation

@@ -36,6 +36,35 @@ from repro.ylt.table import YearLossTable
 __all__ = ["GPUSimulatedEngine"]
 
 
+def _launch_block(layer, event_ids, offsets, config: EngineConfig, timer: PhaseTimer):
+    """One simulated kernel launch: a block of trials for one layer.
+
+    The single implementation both the legacy per-layer loop and the plan
+    tile scheduler dispatch, so the optimised/basic kernel selection can
+    never drift between the two.
+    """
+    if config.gpu_optimised:
+        return layer_trial_losses_chunked(
+            layer.loss_matrix(),
+            event_ids,
+            offsets,
+            layer.terms,
+            chunk_events=config.threads_per_block * config.gpu_chunk_size,
+            use_shortcut=config.use_aggregate_shortcut,
+            record_max_occurrence=config.record_max_occurrence,
+            timer=timer,
+        )
+    return layer_trial_losses(
+        layer.loss_matrix(),
+        event_ids,
+        offsets,
+        layer.terms,
+        use_shortcut=config.use_aggregate_shortcut,
+        record_max_occurrence=config.record_max_occurrence,
+        timer=timer,
+    )
+
+
 class GPUSimulatedEngine:
     """Functional execution on the simulated many-core device."""
 
@@ -54,6 +83,80 @@ class GPUSimulatedEngine:
             threads_per_block=self.config.threads_per_block,
             chunk_size=self.config.gpu_chunk_size,
             optimised=self.config.gpu_optimised,
+        )
+
+    def run_plan(self, plan) -> EngineResult:
+        """Execute an :class:`~repro.core.plan.ExecutionPlan` tile by tile.
+
+        The plan's iteration space maps directly onto the device model: one
+        simulated CUDA block is one :class:`~repro.parallel.partitioner.Tile`
+        of ``threads_per_block`` trials x 1 row, and
+        :meth:`ExecutionPlan.tiles` emits them row-major — exactly the
+        launch order of the legacy per-layer loop, so plan-lowered execution
+        is bit-identical to :meth:`run`.  Synthetic plans (precomputed stack
+        rows without source layers) are not supported by the device model.
+        """
+        if not plan.has_layers:
+            raise ValueError(
+                "backend 'gpu' has no stacked execution path; "
+                "use one of the fused backends (vectorized, chunked, multicore)"
+            )
+        from repro.core.plan import finalize_plan_result
+
+        config = self.config
+        kernel_config = self.kernel_config()
+        timer = PhaseTimer(enabled=config.record_phases)
+        wall = Timer().start()
+        yet = plan.yet
+
+        losses = np.zeros((plan.n_rows, plan.n_trials), dtype=np.float64)
+        max_occ = (
+            np.zeros((plan.n_rows, plan.n_trials), dtype=np.float64)
+            if config.record_max_occurrence
+            else None
+        )
+        threads = config.threads_per_block
+        for tile in plan.tiles(trial_block=threads, row_block=1):
+            row = tile.rows.start
+            lo = int(yet.trial_offsets[tile.trials.start])
+            hi = int(yet.trial_offsets[tile.trials.stop])
+            event_ids = yet.event_ids[lo:hi]
+            offsets = yet.trial_offsets[tile.trials.start : tile.trials.stop + 1] - lo
+            year_losses, trial_max = _launch_block(
+                plan.layers[row], event_ids, offsets, config, timer
+            )
+            losses[row, tile.trials.start : tile.trials.stop] = year_losses
+            if max_occ is not None and trial_max is not None:
+                max_occ[row, tile.trials.start : tile.trials.stop] = trial_max
+
+        estimates: List[KernelEstimate] = [
+            self.device.estimate(
+                WorkloadShape(
+                    n_trials=plan.n_trials,
+                    events_per_trial=max(yet.mean_events_per_trial, 1e-9),
+                    n_elts=layer.n_elts,
+                    n_layers=1,
+                ),
+                kernel_config,
+            )
+            for layer in plan.layers
+        ]
+        return finalize_plan_result(
+            plan,
+            self.name,
+            losses,
+            max_occ,
+            wall.stop(),
+            {
+                "threads_per_block": config.threads_per_block,
+                "chunk_size": config.gpu_chunk_size,
+                "optimised": config.gpu_optimised,
+                "device": self.device.spec.name,
+                "fused_layers": False,
+            },
+            phase_breakdown=timer.breakdown() if config.record_phases else None,
+            modeled=tuple(estimates),
+            modeled_seconds=float(sum(est.seconds for est in estimates)),
         )
 
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
@@ -75,7 +178,6 @@ class GPUSimulatedEngine:
 
         threads = config.threads_per_block
         for layer_index, layer in enumerate(program.layers):
-            matrix = layer.loss_matrix()
             # Functional execution: process the trials one simulated CUDA
             # block at a time.  Each block covers `threads_per_block` trials;
             # within the block the chunked kernel stages `chunk_size` events
@@ -87,27 +189,9 @@ class GPUSimulatedEngine:
                 hi = int(yet.trial_offsets[block_stop])
                 event_ids = yet.event_ids[lo:hi]
                 offsets = yet.trial_offsets[block_start : block_stop + 1] - lo
-                if config.gpu_optimised:
-                    year_losses, trial_max = layer_trial_losses_chunked(
-                        matrix,
-                        event_ids,
-                        offsets,
-                        layer.terms,
-                        chunk_events=threads * config.gpu_chunk_size,
-                        use_shortcut=config.use_aggregate_shortcut,
-                        record_max_occurrence=config.record_max_occurrence,
-                        timer=timer,
-                    )
-                else:
-                    year_losses, trial_max = layer_trial_losses(
-                        matrix,
-                        event_ids,
-                        offsets,
-                        layer.terms,
-                        use_shortcut=config.use_aggregate_shortcut,
-                        record_max_occurrence=config.record_max_occurrence,
-                        timer=timer,
-                    )
+                year_losses, trial_max = _launch_block(
+                    layer, event_ids, offsets, config, timer
+                )
                 losses[layer_index, block_start:block_stop] = year_losses
                 if max_occ is not None and trial_max is not None:
                     max_occ[layer_index, block_start:block_stop] = trial_max

@@ -193,6 +193,7 @@ def layer_trial_losses_batch(
     timer: PhaseTimer | None = None,
     chunk_events: int | None = None,
     stack: np.ndarray | None = None,
+    row_map: np.ndarray | None = None,
 ) -> Tuple[np.ndarray, np.ndarray | None]:
     """Year losses of *all* layers in one fused pass over the YET.
 
@@ -225,6 +226,15 @@ def layer_trial_losses_batch(
         Optional precomputed :func:`build_layer_loss_stack` result; pass it
         when the same layers are priced repeatedly (or when the stack is
         shared with worker processes).
+    row_map:
+        Optional ``(n_layers,)`` int array mapping each output row to a row
+        of a *deduplicated* stack: when many layers share one term-netted
+        loss row (candidate-term variants of the same exposure), the stack
+        holds each distinct row once and ``row_map`` expands the gathered
+        values back to per-layer rows before the layer terms are applied.
+        The expansion copies identical floats, so results are bit-identical
+        to gathering from the fully expanded stack.  Without ``row_map`` the
+        stack must carry one row per layer.
 
     Returns
     -------
@@ -240,7 +250,16 @@ def layer_trial_losses_batch(
     stack = np.asarray(stack, dtype=np.float64)
     if stack.ndim != 2:
         raise ValueError(f"stack must be 2-D (n_layers, catalog_size), got shape {stack.shape}")
-    if stack.shape[0] != vectors.n_layers:
+    if row_map is not None:
+        row_map = np.ascontiguousarray(row_map, dtype=np.int64)
+        if row_map.ndim != 1 or row_map.shape[0] != vectors.n_layers:
+            raise ValueError(
+                f"row_map must have one entry per layer ({vectors.n_layers}), "
+                f"got shape {row_map.shape}"
+            )
+        if row_map.size and (row_map.min() < 0 or row_map.max() >= stack.shape[0]):
+            raise IndexError("row_map indices out of range of the stack")
+    elif stack.shape[0] != vectors.n_layers:
         raise ValueError(
             f"stack has {stack.shape[0]} layers but terms describe {vectors.n_layers}"
         )
@@ -261,11 +280,15 @@ def layer_trial_losses_batch(
             )
         return _layer_trial_losses_batch_streamed(
             stack, ids, trial_offsets, vectors, int(chunk_events),
-            record_max_occurrence, timer,
+            record_max_occurrence, timer, row_map=row_map,
         )
 
     with timer.phase(PHASE_ELT_LOOKUP):
         combined = stack[:, ids]
+        if row_map is not None:
+            # Expand the deduplicated gather to one row per layer; the copy
+            # reproduces the expanded-stack gather bit for bit.
+            combined = combined[row_map]
 
     with timer.phase(PHASE_LAYER_TERMS):
         # The gather is a fresh scratch buffer, so the occurrence terms can
@@ -291,6 +314,7 @@ def _layer_trial_losses_batch_streamed(
     chunk_events: int,
     record_max_occurrence: bool,
     timer: PhaseTimer,
+    row_map: np.ndarray | None = None,
 ) -> Tuple[np.ndarray, np.ndarray | None]:
     """Bounded-memory fused pass: accumulate per-trial reductions per chunk.
 
@@ -300,7 +324,7 @@ def _layer_trial_losses_batch_streamed(
     accumulated totals.
     """
     offsets = validate_offsets(np.asarray(trial_offsets), ids.shape[0])
-    n_layers = stack.shape[0]
+    n_layers = vectors.n_layers
     n_trials = offsets.size - 1
     totals = np.zeros((n_layers, n_trials), dtype=np.float64)
     max_occurrence = (
@@ -314,6 +338,8 @@ def _layer_trial_losses_batch_streamed(
         stop = min(start + chunk_events, total_events)
         with timer.phase(PHASE_ELT_LOOKUP):
             gathered = stack[:, ids[start:stop]]
+            if row_map is not None:
+                gathered = gathered[row_map]
         with timer.phase(PHASE_LAYER_TERMS):
             occurrence = apply_occurrence_terms_batch(gathered, vectors, out=gathered)
             # Trials overlapping [start, stop): first trial containing the

@@ -3,21 +3,33 @@
 The paper's multi-core engine runs one OpenMP thread per trial with the ELT
 direct access tables shared in the process's address space.  The Python
 analogue uses worker *processes* (to sidestep the GIL) over *blocks* of
-trials, with the Year Event Table and every layer's dense loss matrix shared
-by ``fork`` inheritance (zero-copy on Linux) or rebuilt from shared memory
-descriptors under ``spawn``.
+trials.  How the read-only inputs reach the workers depends on the transport:
+
+* under ``fork`` the Year Event Table and the fused loss stack are inherited
+  by reference (zero-copy on Linux);
+* under ``spawn``/``forkserver`` the plan scheduler publishes the stack and
+  the YET columns through :class:`~repro.parallel.shared_memory.SharedArray`
+  segments, so each worker *attaches* a zero-copy NumPy view instead of
+  unpickling ``n_rows x catalog_size`` doubles per run (the pickling
+  transport remains available as the ``EngineConfig.shared_memory="off"``
+  baseline).
 
 ``EngineConfig.n_workers`` plays the role of the paper's "number of cores"
 (Fig. 3a) and ``EngineConfig.oversubscription`` with dynamic scheduling plays
 the role of "threads per core" (Fig. 3b): the trial range is over-decomposed
 into ``oversubscription x n_workers`` chunks that idle workers pull from the
 pool's queue.
+
+:meth:`MulticoreEngine.run_plan` schedules the unified
+:class:`~repro.core.plan.ExecutionPlan` IR by mapping its trial tiles over
+the worker pool; :meth:`MulticoreEngine.run` is the legacy per-backend
+dispatch, kept one release behind the plan-vs-legacy conformance suite.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -27,12 +39,14 @@ from repro.core.kernels import (
     layer_trial_losses,
     layer_trial_losses_batch,
 )
+from repro.core.plan import ExecutionPlan, finalize_plan_result
 from repro.core.results import EngineResult
 from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.elt.combined import LayerLossMatrix
 from repro.parallel.device import WorkloadShape
 from repro.parallel.executor import ParallelConfig, TrialBlockExecutor
 from repro.parallel.partitioner import TrialRange
+from repro.parallel.shared_memory import SharedArrayDescriptor, SharedWorkspace
 from repro.portfolio.layer import Layer
 from repro.portfolio.program import ReinsuranceProgram
 from repro.utils.timing import Timer
@@ -59,12 +73,18 @@ class MulticoreContext:
     use_shortcut, record_max_occurrence:
         Engine options forwarded to the kernel.
     stack:
-        Precomputed fused ``(n_layers, catalog_size)`` loss stack
+        Precomputed fused ``(n_rows, catalog_size)`` loss stack
         (:func:`~repro.core.kernels.build_layer_loss_stack`); when present
-        each worker prices *all* layers of its trial block through the fused
+        each worker prices *all* rows of its trial block through the fused
         batch kernel instead of looping over the layers.
     terms_vectors:
         Structure-of-arrays layer terms; always set together with ``stack``.
+    row_map:
+        Optional plan-row -> stack-row dedup mapping (see
+        :class:`~repro.core.plan.ExecutionPlan`).
+    attachments:
+        Worker-side keep-alive handles for shared-memory views; ``None``
+        when the arrays were inherited or pickled.
     """
 
     event_ids: np.ndarray
@@ -75,13 +95,55 @@ class MulticoreContext:
     record_max_occurrence: bool
     stack: np.ndarray | None = None
     terms_vectors: LayerTermsVectors | None = None
+    row_map: np.ndarray | None = None
+    attachments: Any = None
+
+
+class _SharedPlanContext:
+    """Picklable worker initializer: attach the plan's shared arrays.
+
+    The parent publishes the fused stack and the YET columns as shared
+    segments; each worker calls this factory once (in the pool initializer)
+    to attach zero-copy views and assemble its :class:`MulticoreContext`.
+    Only the compact descriptors and the small term vectors travel through
+    the pickle channel.
+    """
+
+    def __init__(
+        self,
+        descriptors: Mapping[str, SharedArrayDescriptor],
+        terms_vectors: LayerTermsVectors,
+        row_map: np.ndarray | None,
+        use_shortcut: bool,
+        record_max_occurrence: bool,
+    ) -> None:
+        self.descriptors = dict(descriptors)
+        self.terms_vectors = terms_vectors
+        self.row_map = row_map
+        self.use_shortcut = use_shortcut
+        self.record_max_occurrence = record_max_occurrence
+
+    def __call__(self) -> MulticoreContext:
+        attachments = SharedWorkspace.attach_all(self.descriptors)
+        return MulticoreContext(
+            event_ids=attachments["event_ids"].array,
+            trial_offsets=attachments["trial_offsets"].array,
+            matrices=None,
+            terms=(),
+            use_shortcut=self.use_shortcut,
+            record_max_occurrence=self.record_max_occurrence,
+            stack=attachments["stack"].array,
+            terms_vectors=self.terms_vectors,
+            row_map=self.row_map,
+            attachments=attachments,
+        )
 
 
 def _analyse_block(context: MulticoreContext, block: TrialRange) -> tuple[int, np.ndarray, np.ndarray | None]:
     """Worker-side task: analyse one block of trials for every layer.
 
     Returns ``(start_trial, losses, max_occurrence)`` where ``losses`` has
-    shape ``(n_layers, block_size)``.
+    shape ``(n_rows, block_size)``.
     """
     start, stop = block.start, block.stop
     lo = int(context.trial_offsets[start])
@@ -98,6 +160,7 @@ def _analyse_block(context: MulticoreContext, block: TrialRange) -> tuple[int, n
             use_shortcut=context.use_shortcut,
             record_max_occurrence=context.record_max_occurrence,
             stack=context.stack,
+            row_map=context.row_map,
         )
         return block.start, losses, max_occ
 
@@ -131,8 +194,126 @@ class MulticoreEngine:
     def __init__(self, config: EngineConfig | None = None) -> None:
         self.config = config if config is not None else EngineConfig(backend="multicore")
 
+    def _parallel_config(self) -> ParallelConfig:
+        config = self.config
+        return ParallelConfig(
+            n_workers=config.n_workers,
+            policy=config.scheduling,
+            oversubscription=config.oversubscription,
+            start_method=config.start_method,
+        )
+
+    def _uses_shared_memory(self) -> bool:
+        """Whether the plan scheduler publishes its arrays via shared memory."""
+        config = self.config
+        if config.n_workers == 1:
+            # The executor's serial fast path runs in-process: there is no
+            # transport at all, so copying the arrays into /dev/shm would be
+            # pure overhead (and tmpfs pressure) even under "on".
+            return False
+        if config.shared_memory == "on":
+            return True
+        if config.shared_memory == "off":
+            return False
+        # auto: fork inherits the parent's address space for free; any other
+        # start method would pickle the arrays once per worker.
+        return config.start_method != "fork"
+
+    # ------------------------------------------------------------------ #
+    # Plan scheduler
+    # ------------------------------------------------------------------ #
+    def run_plan(self, plan: ExecutionPlan) -> EngineResult:
+        """Execute an :class:`~repro.core.plan.ExecutionPlan` across workers."""
+        config = self.config
+        wall = Timer().start()
+
+        fused = config.fused_layers or not plan.has_layers
+        use_shm = fused and self._uses_shared_memory()
+        parallel_config = self._parallel_config()
+
+        workspace: SharedWorkspace | None = None
+        try:
+            if fused:
+                stack = plan.stack()
+                if use_shm:
+                    # Publish the big read-only arrays once; workers attach
+                    # zero-copy views instead of unpickling them per worker.
+                    workspace = SharedWorkspace()
+                    workspace.add("stack", stack)
+                    workspace.add("event_ids", plan.yet.event_ids)
+                    workspace.add("trial_offsets", plan.yet.trial_offsets)
+                    executor = TrialBlockExecutor(
+                        parallel_config,
+                        context_factory=_SharedPlanContext(
+                            workspace.descriptors(),
+                            plan.terms,
+                            plan.row_map,
+                            config.use_aggregate_shortcut,
+                            config.record_max_occurrence,
+                        ),
+                    )
+                else:
+                    context = MulticoreContext(
+                        event_ids=plan.yet.event_ids,
+                        trial_offsets=plan.yet.trial_offsets,
+                        matrices=None,
+                        terms=(),
+                        use_shortcut=config.use_aggregate_shortcut,
+                        record_max_occurrence=config.record_max_occurrence,
+                        stack=stack,
+                        terms_vectors=plan.terms,
+                        row_map=plan.row_map,
+                    )
+                    executor = TrialBlockExecutor(parallel_config, context=context)
+            else:
+                context = MulticoreContext(
+                    event_ids=plan.yet.event_ids,
+                    trial_offsets=plan.yet.trial_offsets,
+                    matrices=[layer.loss_matrix() for layer in plan.layers],
+                    terms=[layer.terms for layer in plan.layers],
+                    use_shortcut=config.use_aggregate_shortcut,
+                    record_max_occurrence=config.record_max_occurrence,
+                )
+                executor = TrialBlockExecutor(parallel_config, context=context)
+
+            schedule = executor.schedule_for(plan.n_trials)
+            block_results: List[tuple[int, np.ndarray, np.ndarray | None]] = executor.run(
+                _analyse_block, work_items=list(schedule.blocks)
+            )
+        finally:
+            # A worker dying mid-block must not leak the shared segments:
+            # the owner unlinks them on every exit path (an atexit guard in
+            # shared_memory.py backstops even this).
+            if workspace is not None:
+                workspace.close()
+
+        losses, max_occ = _assemble_blocks(
+            block_results, plan.n_rows, plan.n_trials, config.record_max_occurrence
+        )
+        details: Dict[str, Any] = {
+            "n_workers": config.n_workers,
+            "scheduling": str(config.scheduling),
+            "oversubscription": config.oversubscription,
+            "n_blocks": schedule.n_blocks,
+            "fused_layers": fused,
+            "shared_memory": use_shm,
+        }
+        return finalize_plan_result(
+            plan, self.name, losses, max_occ, wall.stop(), details
+        )
+
+    # ------------------------------------------------------------------ #
+    # Legacy dispatch (one release behind the plan path)
+    # ------------------------------------------------------------------ #
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
-        """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
+        """Run the aggregate analysis for every layer of ``program`` over ``yet``.
+
+        .. deprecated::
+            This is the pre-plan dispatch, retained for the plan-vs-legacy
+            conformance suite (``EngineConfig(execution="legacy")``); it will
+            be removed once the deprecation window closes.  It always uses
+            the pickling/inheritance transport.
+        """
         program = ReinsuranceProgram.wrap(program)
         config = self.config
         wall = Timer().start()
@@ -142,7 +323,9 @@ class MulticoreEngine:
         # inherit them without copying.  The fused stack is also what a
         # ``spawn`` pool pickles: at n_layers x catalog_size doubles it is the
         # smaller and already term-netted representation, so workers skip the
-        # per-gather financial-term arithmetic entirely.
+        # per-gather financial-term arithmetic entirely.  (The plan scheduler
+        # removes even that pickling cost by publishing the stack through
+        # shared memory — see :meth:`run_plan`.)
         matrices = [layer.loss_matrix() for layer in program.layers]
         terms = [layer.terms for layer in program.layers]
         if config.fused_layers:
@@ -166,31 +349,16 @@ class MulticoreEngine:
                 record_max_occurrence=config.record_max_occurrence,
             )
 
-        parallel_config = ParallelConfig(
-            n_workers=config.n_workers,
-            policy=config.scheduling,
-            oversubscription=config.oversubscription,
-            start_method=config.start_method,
-        )
-        executor = TrialBlockExecutor(parallel_config, context=context)
+        executor = TrialBlockExecutor(self._parallel_config(), context=context)
         schedule = executor.schedule_for(yet.n_trials)
         block_results: List[tuple[int, np.ndarray, np.ndarray | None]] = executor.run(
             _analyse_block, work_items=list(schedule.blocks)
         )
 
         n_trials = yet.n_trials
-        losses = np.zeros((program.n_layers, n_trials), dtype=np.float64)
-        max_occ = (
-            np.zeros((program.n_layers, n_trials), dtype=np.float64)
-            if config.record_max_occurrence
-            else None
+        losses, max_occ = _assemble_blocks(
+            block_results, program.n_layers, n_trials, config.record_max_occurrence
         )
-        for start, block_losses, block_max in block_results:
-            size = block_losses.shape[1]
-            losses[:, start : start + size] = block_losses
-            if max_occ is not None and block_max is not None:
-                max_occ[:, start : start + size] = block_max
-
         wall_seconds = wall.stop()
         shape = WorkloadShape(
             n_trials=n_trials,
@@ -212,79 +380,23 @@ class MulticoreEngine:
             },
         )
 
-    def run_stacked(
-        self,
-        stack: np.ndarray,
-        terms: Sequence[LayerTerms] | LayerTermsVectors,
-        yet: YearEventTable,
-        layer_names: Sequence[str] | None = None,
-    ) -> EngineResult:
-        """Price precomputed term-netted stack rows across worker processes.
 
-        Same contract as :meth:`VectorizedEngine.run_stacked`: the stack is
-        shared with the workers (fork inheritance or shared memory) and each
-        worker prices every row for its block of trials through the fused
-        batch kernel — the same worker task the fused program path uses, so
-        results are independent of the worker count and block schedule.
-        """
-        config = self.config
-        wall = Timer().start()
-        stack = np.ascontiguousarray(stack, dtype=np.float64)
-        vectors = terms if isinstance(terms, LayerTermsVectors) else LayerTermsVectors.from_terms(terms)
-        context = MulticoreContext(
-            event_ids=yet.event_ids,
-            trial_offsets=yet.trial_offsets,
-            matrices=None,
-            terms=(),
-            use_shortcut=config.use_aggregate_shortcut,
-            record_max_occurrence=config.record_max_occurrence,
-            stack=stack,
-            terms_vectors=vectors,
-        )
-        parallel_config = ParallelConfig(
-            n_workers=config.n_workers,
-            policy=config.scheduling,
-            oversubscription=config.oversubscription,
-            start_method=config.start_method,
-        )
-        executor = TrialBlockExecutor(parallel_config, context=context)
-        schedule = executor.schedule_for(yet.n_trials)
-        block_results: List[tuple[int, np.ndarray, np.ndarray | None]] = executor.run(
-            _analyse_block, work_items=list(schedule.blocks)
-        )
-
-        n_trials = yet.n_trials
-        n_rows = stack.shape[0]
-        losses = np.zeros((n_rows, n_trials), dtype=np.float64)
-        max_occ = (
-            np.zeros((n_rows, n_trials), dtype=np.float64)
-            if config.record_max_occurrence
-            else None
-        )
-        for start, block_losses, block_max in block_results:
-            size = block_losses.shape[1]
-            losses[:, start : start + size] = block_losses
-            if max_occ is not None and block_max is not None:
-                max_occ[:, start : start + size] = block_max
-
-        wall_seconds = wall.stop()
-        shape = WorkloadShape(
-            n_trials=n_trials,
-            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
-            n_elts=1,
-            n_layers=n_rows,
-        )
-        return EngineResult(
-            ylt=YearLossTable(losses, layer_names, max_occ),
-            backend=self.name,
-            wall_seconds=wall_seconds,
-            workload_shape=shape,
-            details={
-                "n_workers": config.n_workers,
-                "scheduling": str(config.scheduling),
-                "oversubscription": config.oversubscription,
-                "n_blocks": schedule.n_blocks,
-                "fused_layers": True,
-                "stacked": True,
-            },
-        )
+def _assemble_blocks(
+    block_results: Sequence[tuple[int, np.ndarray, np.ndarray | None]],
+    n_rows: int,
+    n_trials: int,
+    record_max_occurrence: bool,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Stitch the per-block worker results back into full output tables."""
+    losses = np.zeros((n_rows, n_trials), dtype=np.float64)
+    max_occ = (
+        np.zeros((n_rows, n_trials), dtype=np.float64)
+        if record_max_occurrence
+        else None
+    )
+    for start, block_losses, block_max in block_results:
+        size = block_losses.shape[1]
+        losses[:, start : start + size] = block_losses
+        if max_occ is not None and block_max is not None:
+            max_occ[:, start : start + size] = block_max
+    return losses, max_occ

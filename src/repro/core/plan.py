@@ -1,0 +1,427 @@
+"""The ExecutionPlan IR: one workload description for every backend.
+
+The paper's central observation is that aggregate risk analysis is *one*
+data-parallel computation — trials x layers over a Year Event Table.  The
+plan layer turns that observation into architecture: every engine workload
+(``run``, ``run_many``, ``run_stacked``, replication blocks, portfolio
+sweeps) lowers to the same intermediate representation, an
+:class:`ExecutionPlan` describing tiles over
+
+* the **trial axis** — contiguous trial blocks of the YET, and
+* the **row axis** — stacked term-netted layer loss rows (the layout of
+  :func:`~repro.core.kernels.build_layer_loss_stack`).
+
+Backends *schedule* plans instead of reimplementing workloads: the
+vectorized backend executes the single full-size tile, the chunked backend
+streams the trial-flattened events of that tile, the multicore backend maps
+trial blocks over worker processes (publishing the stack and YET columns
+through shared memory so workers attach zero-copy), the simulated GPU
+launches one ``threads_per_block x 1`` tile per simulated CUDA block, and
+the sequential reference iterates the plan's source layers.  Scaling
+features — row deduplication, sharding, streaming — therefore land once, in
+the plan, and apply to every entry point.
+
+Lowering is the job of :class:`PlanBuilder`:
+
+``from_program``
+    one program -> one segment of rows, one row per layer;
+``from_programs``
+    many programs -> one concatenated plan with per-program segments, and
+    (by default) *deduplicated* rows: candidate-term variants of the same
+    exposure share their term-netted loss row, so the stacked gather reads
+    each distinct row once regardless of how many variants reference it;
+``from_stack``
+    precomputed rows (e.g. the sampled replications of the secondary-
+    uncertainty engine) -> a synthetic plan with no source layers.
+
+:meth:`ExecutionPlan.split_result` maps a combined engine result back to one
+:class:`~repro.core.results.EngineResult` per segment — the inverse of the
+concatenation performed by ``from_programs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.kernels import build_layer_loss_stack
+from repro.core.results import EngineResult
+from repro.financial.terms import LayerTerms, LayerTermsVectors
+from repro.parallel.device import WorkloadShape
+from repro.parallel.partitioner import Tile, tile_partition
+from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
+from repro.utils.timing import PhaseTimer
+from repro.yet.table import YearEventTable
+from repro.ylt.table import YearLossTable
+
+__all__ = ["ExecutionPlan", "PlanBuilder", "PlanSegment", "finalize_plan_result"]
+
+
+@dataclass(frozen=True)
+class PlanSegment:
+    """A contiguous block of plan rows belonging to one logical result.
+
+    ``run`` lowers to a single segment spanning every row; ``run_many`` and
+    the portfolio sweep produce one segment per input program.  ``metadata``
+    is merged into the split result's ``details`` (e.g. the ``"batch"``
+    entry ``run_many`` has always recorded).
+    """
+
+    name: str
+    start: int
+    stop: int
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(f"invalid segment [{self.start}, {self.stop})")
+
+    @property
+    def n_rows(self) -> int:
+        """Number of plan rows in the segment."""
+        return self.stop - self.start
+
+
+class ExecutionPlan:
+    """IR for one engine workload: stacked loss rows x trials of one YET.
+
+    Parameters
+    ----------
+    yet:
+        The Year Event Table every row is priced over.
+    terms:
+        Per-row layer terms (``n_rows`` entries).
+    layers:
+        The source :class:`~repro.portfolio.layer.Layer` objects, one per
+        row, when the plan was lowered from programs; ``None`` for synthetic
+        stacks (``run_stacked``).  Backends without a fused path (sequential,
+        gpu) and the ``fused_layers=False`` ablation need them.
+    stack:
+        Optional precomputed ``(n_unique_rows, catalog_size)`` stack.  When
+        absent it is built lazily (and cached) from the unique layers'
+        matrices.
+    row_map:
+        Optional ``(n_rows,)`` mapping of plan rows to unique stack rows
+        (row deduplication); ``None`` means the identity mapping.
+    row_names:
+        Per-row display names for the Year Loss Table.
+    segments:
+        How the combined result splits back into logical results; defaults
+        to one segment spanning every row.
+    source:
+        Provenance tag recorded in result details (``"program"``,
+        ``"batch"``, ``"stacked"``, ``"sweep"``).
+    mean_elts_per_row:
+        Average ELT count per row, carried into the result's workload shape.
+    """
+
+    def __init__(
+        self,
+        yet: YearEventTable,
+        terms: Sequence[LayerTerms] | LayerTermsVectors,
+        *,
+        layers: Sequence[Layer] | None = None,
+        stack: np.ndarray | None = None,
+        row_map: np.ndarray | None = None,
+        row_names: Sequence[str] | None = None,
+        segments: Sequence[PlanSegment] | None = None,
+        source: str = "program",
+        mean_elts_per_row: float = 1.0,
+    ) -> None:
+        self.yet = yet
+        self.terms = (
+            terms if isinstance(terms, LayerTermsVectors) else LayerTermsVectors.from_terms(terms)
+        )
+        n_rows = self.terms.n_layers
+        if n_rows == 0:
+            raise ValueError("a plan needs at least one row")
+
+        self.layers: tuple[Layer, ...] | None = tuple(layers) if layers is not None else None
+        if self.layers is not None and len(self.layers) != n_rows:
+            raise ValueError(
+                f"{len(self.layers)} source layers do not match {n_rows} plan rows"
+            )
+
+        if row_map is not None:
+            row_map = np.ascontiguousarray(row_map, dtype=np.int64)
+            if row_map.shape != (n_rows,):
+                raise ValueError(
+                    f"row_map shape {row_map.shape} does not match {n_rows} plan rows"
+                )
+            if stack is None and not np.array_equal(
+                np.unique(row_map), np.arange(int(row_map.max(initial=-1)) + 1)
+            ):
+                # Without a precomputed stack the unique rows are built from
+                # first-occurrence layers, so the mapping must densely cover
+                # 0..k-1 (PlanBuilder always produces such maps); a sparse
+                # map would leave unbuildable holes in the stack.
+                raise ValueError(
+                    "row_map must densely cover 0..k-1 when the stack is "
+                    "built from source layers"
+                )
+        self.row_map = row_map
+
+        self._stack: np.ndarray | None = None
+        if stack is not None:
+            stack = np.ascontiguousarray(stack, dtype=np.float64)
+            if stack.ndim != 2:
+                raise ValueError(f"stack must be 2-D, got shape {stack.shape}")
+            expected = n_rows if row_map is None else int(row_map.max(initial=-1)) + 1
+            if stack.shape[0] < expected:
+                raise ValueError(
+                    f"stack has {stack.shape[0]} rows but the plan addresses {expected}"
+                )
+            self._stack = stack
+        elif self.layers is None:
+            raise ValueError("a plan needs either source layers or a precomputed stack")
+
+        self.row_names: tuple[str, ...] | None = (
+            tuple(str(name) for name in row_names) if row_names is not None else None
+        )
+        if self.row_names is not None and len(self.row_names) != n_rows:
+            raise ValueError(
+                f"{len(self.row_names)} row names do not match {n_rows} plan rows"
+            )
+
+        if segments is None:
+            segments = (PlanSegment(name=source, start=0, stop=n_rows),)
+        self.segments: tuple[PlanSegment, ...] = tuple(segments)
+        covered = sum(segment.n_rows for segment in self.segments)
+        if covered != n_rows or any(
+            s.stop > n_rows or (i and s.start != self.segments[i - 1].stop)
+            for i, s in enumerate(self.segments)
+        ):
+            raise ValueError("segments must tile the row range contiguously")
+
+        self.source = str(source)
+        self.mean_elts_per_row = float(mean_elts_per_row)
+
+    # ------------------------------------------------------------------ #
+    # Shape accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        """Number of plan rows (layers x variants x replications...)."""
+        return self.terms.n_layers
+
+    @property
+    def n_unique_rows(self) -> int:
+        """Number of distinct stack rows the gathers read."""
+        if self.row_map is None:
+            return self.n_rows
+        return int(np.unique(self.row_map).size)
+
+    @property
+    def n_trials(self) -> int:
+        """Number of YET trials."""
+        return self.yet.n_trials
+
+    @property
+    def catalog_size(self) -> int:
+        """Size of the event catalog the rows index."""
+        if self._stack is not None:
+            return int(self._stack.shape[1])
+        return self.layers[0].catalog_size
+
+    @property
+    def has_layers(self) -> bool:
+        """True when the plan carries its source layers (non-synthetic rows)."""
+        return self.layers is not None
+
+    def workload_shape(self) -> WorkloadShape:
+        """The workload shape recorded on results produced from this plan."""
+        return WorkloadShape(
+            n_trials=self.n_trials,
+            events_per_trial=max(self.yet.mean_events_per_trial, 1e-9),
+            n_elts=max(int(round(self.mean_elts_per_row)), 1),
+            n_layers=self.n_rows,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stack materialisation & tiling
+    # ------------------------------------------------------------------ #
+    def stack(self, timer: PhaseTimer | None = None) -> np.ndarray:
+        """The ``(n_unique_rows, catalog_size)`` term-netted loss stack.
+
+        Built lazily from the unique layers' dense matrices and cached on
+        the plan, so repeated executions (conformance runs, backend sweeps)
+        pay the build once.
+        """
+        if self._stack is None:
+            if self.row_map is None:
+                matrices = [layer.loss_matrix() for layer in self.layers]
+            else:
+                unique_count = int(self.row_map.max()) + 1
+                representatives: List[Layer | None] = [None] * unique_count
+                for row, unique in enumerate(self.row_map):
+                    if representatives[unique] is None:
+                        representatives[unique] = self.layers[row]
+                matrices = [layer.loss_matrix() for layer in representatives]
+            self._stack = build_layer_loss_stack(matrices, timer)
+        return self._stack
+
+    def tiles(
+        self, trial_block: int | None = None, row_block: int | None = None
+    ) -> List[Tile]:
+        """The plan's iteration space split into (trial x row) tiles."""
+        return tile_partition(self.n_trials, self.n_rows, trial_block, row_block)
+
+    # ------------------------------------------------------------------ #
+    # Result splitting
+    # ------------------------------------------------------------------ #
+    def split_result(self, result: EngineResult) -> List[EngineResult]:
+        """One result per segment, splitting the combined rows back apart."""
+        if result.ylt.n_layers != self.n_rows:
+            raise ValueError(
+                f"result has {result.ylt.n_layers} rows but the plan describes {self.n_rows}"
+            )
+        if len(self.segments) == 1 and not self.segments[0].metadata:
+            return [result]
+        return [
+            result.for_layer_subset(
+                range(segment.start, segment.stop),
+                extra_details=dict(segment.metadata) if segment.metadata else None,
+            )
+            for segment in self.segments
+        ]
+
+
+class PlanBuilder:
+    """Lowers the engine's public workloads into :class:`ExecutionPlan`."""
+
+    @staticmethod
+    def from_program(
+        program: ReinsuranceProgram | Layer, yet: YearEventTable
+    ) -> ExecutionPlan:
+        """Lower ``run``: one row per layer of one program, one segment."""
+        program = ReinsuranceProgram.wrap(program)
+        return ExecutionPlan(
+            yet,
+            [layer.terms for layer in program.layers],
+            layers=program.layers,
+            row_names=program.layer_names,
+            source="program",
+            mean_elts_per_row=program.mean_elts_per_layer,
+        )
+
+    @staticmethod
+    def from_programs(
+        programs: Sequence[ReinsuranceProgram | Layer],
+        yet: YearEventTable,
+        dedupe: bool = True,
+        source: str = "batch",
+    ) -> ExecutionPlan:
+        """Lower ``run_many``/sweep blocks: concatenated rows, one segment each.
+
+        With ``dedupe`` (the default) rows whose term-netted losses are
+        necessarily identical — layers referencing the *same* ELT objects,
+        as produced by :meth:`~repro.portfolio.layer.Layer.with_terms`
+        candidate variants — share one stack row via the plan's ``row_map``.
+        Identity of the ELT tuple is the dedup key: it can never produce a
+        false positive, and it catches exactly the sweep's variant pattern.
+        """
+        normalised = [ReinsuranceProgram.wrap(program) for program in programs]
+        if not normalised:
+            raise ValueError("at least one program is required")
+
+        layers: List[Layer] = [layer for program in normalised for layer in program.layers]
+        total_rows = len(layers)
+
+        row_map: np.ndarray | None = None
+        if dedupe:
+            unique_of: dict[tuple[int, ...], int] = {}
+            mapping = np.empty(total_rows, dtype=np.int64)
+            for row, layer in enumerate(layers):
+                key = tuple(id(elt) for elt in layer.elts)
+                mapping[row] = unique_of.setdefault(key, len(unique_of))
+            if len(unique_of) < total_rows:
+                row_map = mapping
+
+        segments: List[PlanSegment] = []
+        start = 0
+        for index, program in enumerate(normalised):
+            stop = start + program.n_layers
+            segments.append(
+                PlanSegment(
+                    name=program.name,
+                    start=start,
+                    stop=stop,
+                    metadata={
+                        "batch": {
+                            "program": program.name,
+                            "index": index,
+                            "n_programs": len(normalised),
+                            "total_layers": total_rows,
+                        }
+                    },
+                )
+            )
+            start = stop
+
+        mean_elts = sum(layer.n_elts for layer in layers) / total_rows
+        return ExecutionPlan(
+            yet,
+            [layer.terms for layer in layers],
+            layers=layers,
+            row_map=row_map,
+            row_names=[layer.name for layer in layers],
+            segments=segments,
+            source=source,
+            mean_elts_per_row=mean_elts,
+        )
+
+    @staticmethod
+    def from_stack(
+        stack: np.ndarray,
+        terms: Sequence[LayerTerms] | LayerTermsVectors,
+        yet: YearEventTable,
+        row_names: Sequence[str] | None = None,
+    ) -> ExecutionPlan:
+        """Lower ``run_stacked``: synthetic precomputed rows, no source layers."""
+        return ExecutionPlan(
+            yet,
+            terms,
+            stack=stack,
+            row_names=row_names,
+            source="stacked",
+        )
+
+
+def finalize_plan_result(
+    plan: ExecutionPlan,
+    backend_name: str,
+    losses: np.ndarray,
+    max_occurrence: np.ndarray | None,
+    wall_seconds: float,
+    details: Mapping[str, Any],
+    *,
+    phase_breakdown=None,
+    modeled: Sequence = (),
+    modeled_seconds: float | None = None,
+) -> EngineResult:
+    """Assemble the :class:`EngineResult` every plan scheduler returns.
+
+    Merges the plan's provenance (source, row counts, dedup factor) into the
+    backend's ``details`` so the one result-assembly path exists here rather
+    than once per backend.
+    """
+    merged = dict(details)
+    merged["plan"] = {
+        "source": plan.source,
+        "n_rows": plan.n_rows,
+        "n_unique_rows": plan.n_unique_rows,
+        "n_segments": len(plan.segments),
+    }
+    return EngineResult(
+        ylt=YearLossTable(losses, plan.row_names, max_occurrence),
+        backend=backend_name,
+        wall_seconds=wall_seconds,
+        workload_shape=plan.workload_shape(),
+        phase_breakdown=phase_breakdown,
+        modeled=tuple(modeled),
+        modeled_seconds=modeled_seconds,
+        details=merged,
+    )

@@ -107,6 +107,17 @@ class EngineResult:
             details=details,
         )
 
+    def with_extra_details(self, **extra: Any) -> "EngineResult":
+        """A copy of this result with ``extra`` merged into ``details``.
+
+        Used by the sequential backend's plan scheduler, which delegates to
+        its reference execution loop and then stamps the plan provenance
+        onto the result.
+        """
+        details = dict(self.details)
+        details.update(extra)
+        return replace(self, details=details)
+
     def summary(self) -> str:
         """One-line human-readable summary of the run."""
         text = (

@@ -60,7 +60,34 @@ class SequentialEngine:
         self.config = config if config is not None else EngineConfig(backend="sequential")
 
     # ------------------------------------------------------------------ #
-    # Execution
+    # Plan scheduler
+    # ------------------------------------------------------------------ #
+    def run_plan(self, plan) -> EngineResult:
+        """Execute an :class:`~repro.core.plan.ExecutionPlan` row by row.
+
+        The sequential backend schedules a plan by iterating its source
+        layers through the reference per-(layer, trial) loop — the same code
+        path as :meth:`run`, so plan-lowered execution is bit-identical to
+        the legacy dispatch by construction.  Synthetic plans (precomputed
+        stack rows without source layers) have no pure-Python form here.
+        """
+        if not plan.has_layers:
+            raise ValueError(
+                "backend 'sequential' has no stacked execution path; "
+                "use one of the fused backends (vectorized, chunked, multicore)"
+            )
+        result = self.run(ReinsuranceProgram(plan.layers, name=plan.source), plan.yet)
+        return result.with_extra_details(
+            plan={
+                "source": plan.source,
+                "n_rows": plan.n_rows,
+                "n_unique_rows": plan.n_unique_rows,
+                "n_segments": len(plan.segments),
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution (legacy dispatch, also the plan scheduler's work loop)
     # ------------------------------------------------------------------ #
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
         """Run the aggregate analysis for every layer of ``program`` over ``yet``."""

@@ -1,28 +1,31 @@
 """Vectorized (whole-YET) backend.
 
-By default (``EngineConfig.fused_layers``) the whole program is priced in one
-fused pass: every layer's term-netted dense losses are stacked into a single
-``(n_layers, catalog_size)`` matrix, the flattened event-id array of the
+By default (``EngineConfig.fused_layers``) the whole plan is priced in one
+fused pass: every row's term-netted dense losses are stacked into a single
+``(n_rows, catalog_size)`` matrix, the flattened event-id array of the
 entire Year Event Table is gathered from it in one fancy-indexing operation,
 and the layer terms are applied as broadcast expressions over the resulting
-``(n_layers, n_events)`` matrix.  With ``fused_layers=False`` the backend
+``(n_rows, n_events)`` matrix.  With ``fused_layers=False`` the backend
 falls back to one kernel call per layer (re-gathering the YET against each
 layer's matrix separately).  Either way this is the "make the inner loops
 disappear" translation of the paper's one-thread-per-trial data parallelism
 to NumPy: the data parallelism is across *all* trials (and, fused, all
-layers) at once rather than across hardware threads.
+rows) at once rather than across hardware threads.
+
+:meth:`VectorizedEngine.run_plan` is the scheduler for the unified
+:class:`~repro.core.plan.ExecutionPlan` IR — it executes the plan's single
+full-size tile.  :meth:`VectorizedEngine.run` is the legacy per-backend
+dispatch, kept one release behind the plan-vs-legacy conformance suite.
 """
 
 from __future__ import annotations
-
-from typing import Sequence
 
 import numpy as np
 
 from repro.core.config import EngineConfig
 from repro.core.kernels import layer_trial_losses, layer_trial_losses_batch
+from repro.core.plan import ExecutionPlan, finalize_plan_result
 from repro.core.results import EngineResult
-from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.parallel.device import WorkloadShape
 from repro.portfolio.layer import Layer
 from repro.portfolio.program import ReinsuranceProgram
@@ -41,8 +44,52 @@ class VectorizedEngine:
     def __init__(self, config: EngineConfig | None = None) -> None:
         self.config = config if config is not None else EngineConfig(backend="vectorized")
 
+    # ------------------------------------------------------------------ #
+    # Plan scheduler
+    # ------------------------------------------------------------------ #
+    def run_plan(self, plan: ExecutionPlan) -> EngineResult:
+        """Execute an :class:`~repro.core.plan.ExecutionPlan` in one pass."""
+        config = self.config
+        timer = PhaseTimer(enabled=config.record_phases)
+        wall = Timer().start()
+
+        fused = config.fused_layers or not plan.has_layers
+        if fused:
+            losses, max_occ = layer_trial_losses_batch(
+                (),
+                plan.yet.event_ids,
+                plan.yet.trial_offsets,
+                plan.terms,
+                use_shortcut=config.use_aggregate_shortcut,
+                record_max_occurrence=config.record_max_occurrence,
+                timer=timer,
+                stack=plan.stack(timer),
+                row_map=plan.row_map,
+            )
+        else:
+            losses, max_occ = _per_layer_losses(plan, config, timer)
+
+        return finalize_plan_result(
+            plan,
+            self.name,
+            losses,
+            max_occ,
+            wall.stop(),
+            {"fused_layers": fused},
+            phase_breakdown=timer.breakdown() if config.record_phases else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Legacy dispatch (one release behind the plan path)
+    # ------------------------------------------------------------------ #
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
-        """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
+        """Run the aggregate analysis for every layer of ``program`` over ``yet``.
+
+        .. deprecated::
+            This is the pre-plan dispatch, retained for the plan-vs-legacy
+            conformance suite (``EngineConfig(execution="legacy")``); it will
+            be removed once the deprecation window closes.
+        """
         program = ReinsuranceProgram.wrap(program)
         config = self.config
         timer = PhaseTimer(enabled=config.record_phases)
@@ -97,47 +144,28 @@ class VectorizedEngine:
             details={"fused_layers": config.fused_layers},
         )
 
-    def run_stacked(
-        self,
-        stack: np.ndarray,
-        terms: Sequence[LayerTerms] | LayerTermsVectors,
-        yet: YearEventTable,
-        layer_names: Sequence[str] | None = None,
-    ) -> EngineResult:
-        """Price precomputed term-netted stack rows over ``yet`` in one pass.
 
-        ``stack`` is an ``(n_rows, catalog_size)`` matrix of per-catalog-entry
-        losses already net of per-ELT financial terms — the shape
-        :func:`~repro.core.kernels.build_layer_loss_stack` produces, but
-        coming from any source (e.g. the sampled replication rows of the
-        secondary-uncertainty engine).  Each row is priced under the matching
-        entry of ``terms`` exactly as a program layer would be.
-        """
-        config = self.config
-        timer = PhaseTimer(enabled=config.record_phases)
-        wall = Timer().start()
-        losses, max_occ = layer_trial_losses_batch(
-            (),
-            yet.event_ids,
-            yet.trial_offsets,
-            terms,
+def _per_layer_losses(
+    plan: ExecutionPlan, config: EngineConfig, timer: PhaseTimer
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """The ``fused_layers=False`` ablation: one kernel call per plan row."""
+    losses = np.zeros((plan.n_rows, plan.n_trials), dtype=np.float64)
+    max_occ = (
+        np.zeros((plan.n_rows, plan.n_trials), dtype=np.float64)
+        if config.record_max_occurrence
+        else None
+    )
+    for row, layer in enumerate(plan.layers):
+        year_losses, trial_max = layer_trial_losses(
+            layer.loss_matrix(),
+            plan.yet.event_ids,
+            plan.yet.trial_offsets,
+            layer.terms,
             use_shortcut=config.use_aggregate_shortcut,
             record_max_occurrence=config.record_max_occurrence,
             timer=timer,
-            stack=stack,
         )
-        wall_seconds = wall.stop()
-        shape = WorkloadShape(
-            n_trials=yet.n_trials,
-            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
-            n_elts=1,
-            n_layers=losses.shape[0],
-        )
-        return EngineResult(
-            ylt=YearLossTable(losses, layer_names, max_occ),
-            backend=self.name,
-            wall_seconds=wall_seconds,
-            workload_shape=shape,
-            phase_breakdown=timer.breakdown() if config.record_phases else None,
-            details={"fused_layers": True, "stacked": True},
-        )
+        losses[row] = year_losses
+        if max_occ is not None and trial_max is not None:
+            max_occ[row] = trial_max
+    return losses, max_occ

@@ -153,6 +153,15 @@ class TrialBlockExecutor:
             return [block_fn(context, item) for item in items]
 
         ctx = mp.get_context(self.config.start_method)
+        if self.config.start_method == "forkserver":
+            # Preload the engine stack into the fork server so each worker
+            # forks with NumPy and the kernels already imported instead of
+            # paying the interpreter/import start-up per worker.  Only the
+            # first call (before the server starts) has any effect.
+            try:  # pragma: no cover - exercised by the multicore benchmarks
+                ctx.set_forkserver_preload(["repro.core.multicore"])
+            except Exception:
+                pass
         chunksize = 1  # work items are already coarse-grained
         tasks: Iterable[tuple[Callable[[Any, Any], Any], Any]] = [
             (block_fn, item) for item in items

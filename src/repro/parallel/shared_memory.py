@@ -11,12 +11,38 @@ would pickle and copy gigabytes per worker.  :class:`SharedArray` wraps
 * the parent unlinks the block when the analysis is finished.
 
 :class:`SharedWorkspace` manages a named collection of such arrays (the YET's
-event ids and offsets plus each layer's loss matrix) and can reconstruct the
-views on the worker side from a compact, picklable descriptor.
+event ids and offsets plus the fused loss stack) and can reconstruct the
+views on the worker side from a compact, picklable descriptor.  This is the
+transport the multicore plan scheduler uses: the
+:class:`~repro.core.plan.ExecutionPlan`'s stack and YET columns are published
+once and every worker attaches zero-copy instead of unpickling
+``n_layers x catalog_size`` doubles per run.
+
+Lifecycle guarantees
+--------------------
+
+Shared segments are system-global resources: a segment whose owner forgets
+``unlink()`` outlives the process in ``/dev/shm``.  Three layers of defence
+make leaks impossible in practice:
+
+* every owner is tracked in a module-level registry and an ``atexit`` hook
+  closes and unlinks any segment still open at interpreter shutdown (so an
+  exception that skips a ``finally`` block cannot leak past process exit);
+* :class:`SharedWorkspace` and :class:`SharedArray` are context managers, and
+  the multicore scheduler wraps its workspace in ``try/finally`` — a worker
+  dying mid-block (raising, or killed outright) still ends with the parent
+  unlinking every segment;
+* worker-side attachments bypass Python's per-process resource tracker
+  (``track=False`` on 3.13+, a register shim on older versions), so a dying
+  worker can neither prematurely unlink a segment other workers are reading
+  nor spam ``KeyError`` tracebacks from double-unregistration.
 """
 
 from __future__ import annotations
 
+import atexit
+import threading
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, Mapping, Tuple
@@ -24,6 +50,52 @@ from typing import Dict, Mapping, Tuple
 import numpy as np
 
 __all__ = ["SharedArray", "SharedArrayDescriptor", "SharedWorkspace"]
+
+# Owner-side registry backing the atexit guard.  WeakSet: a SharedArray that
+# was closed and garbage-collected must not be resurrected at shutdown.
+_LIVE_OWNERS: "weakref.WeakSet[SharedArray]" = weakref.WeakSet()
+_REGISTRY_LOCK = threading.Lock()
+
+
+@atexit.register
+def _unlink_leaked_segments() -> None:  # pragma: no cover - exercised via subprocess
+    """Last-resort guard: unlink any owned segment still open at exit."""
+    with _REGISTRY_LOCK:
+        owners = list(_LIVE_OWNERS)
+    for owner in owners:
+        try:
+            owner.close()
+        except Exception:
+            pass
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering a tracker claim.
+
+    Python < 3.13 registers *every* attachment with the attaching process's
+    resource tracker (bpo-38119), so a worker exiting would try to unlink a
+    segment the parent still owns.  3.13+ exposes ``track=False``; on older
+    versions the registration call is shimmed out for the duration of the
+    attach.  The owner side keeps normal tracking — the segment always has
+    exactly one tracked claimant, the process responsible for unlinking it.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+
+    def _skip_shared_memory(res_name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original_register(res_name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
 
 
 @dataclass(frozen=True)
@@ -43,6 +115,9 @@ class SharedArray:
         self.array = array
         self._owner = owner
         self._closed = False
+        if owner:
+            with _REGISTRY_LOCK:
+                _LIVE_OWNERS.add(self)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -60,7 +135,7 @@ class SharedArray:
     @classmethod
     def attach(cls, descriptor: SharedArrayDescriptor) -> "SharedArray":
         """Attach to an existing shared block by descriptor (worker side)."""
-        shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+        shm = _attach_untracked(descriptor.shm_name)
         view = np.ndarray(
             descriptor.shape, dtype=np.dtype(descriptor.dtype), buffer=shm.buf
         )
@@ -88,6 +163,9 @@ class SharedArray:
         if self._closed:
             return
         self._closed = True
+        if self._owner:
+            with _REGISTRY_LOCK:
+                _LIVE_OWNERS.discard(self)
         # Drop the NumPy view before closing the mapping, otherwise the
         # exported buffer keeps the mapping alive and close() raises.
         self.array = None  # type: ignore[assignment]

@@ -18,6 +18,7 @@ from repro.portfolio.pricing import (
 )
 from repro.portfolio.program import ReinsuranceProgram
 from repro.portfolio.rollup import portfolio_rollup, RollupResult
+from repro.portfolio.sweep import PortfolioSweepService, SweepBlock
 
 __all__ = [
     "Layer",
@@ -30,4 +31,6 @@ __all__ = [
     "rate_on_line",
     "portfolio_rollup",
     "RollupResult",
+    "PortfolioSweepService",
+    "SweepBlock",
 ]

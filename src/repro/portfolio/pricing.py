@@ -280,10 +280,15 @@ def batch_quote(
 
     All programs are simulated against the same Year Event Table in a single
     :meth:`~repro.core.engine.AggregateRiskEngine.run_many` call (by default
-    through the fused multi-layer kernel), then each program's layers are
+    through the fused multi-layer kernel, with identical ELT gathers
+    deduplicated across term variants), then each program's layers are
     priced from the resulting year losses.  This is the batched form of the
     paper's real-time pricing scenario: an underwriter's candidate-term
     variants are all answered from one pass over the YET.
+
+    For very large sweeps — whole renewal books, wide term grids — prefer
+    :class:`~repro.portfolio.sweep.PortfolioSweepService`, which streams the
+    same computation in row-bounded blocks and yields quotes as a generator.
     """
     from repro.core.engine import AggregateRiskEngine
 

@@ -12,10 +12,12 @@ Two execution strategies produce those replications:
   method) — all ``R`` replications are sampled up front from per-replication
   child streams (:func:`~repro.utils.rng.spawn_rngs`), stacked into one
   ``(R * n_layers, catalog_size)`` fused loss stack and priced in a single
-  stacked engine pass (:meth:`~repro.core.engine.AggregateRiskEngine.run_stacked`)
-  over the YET.  A streamed variant (``replication_block``) draws and prices
-  blocks of replications so the chunked/multicore backends keep their bounded
-  working set.
+  stacked engine pass (:meth:`~repro.core.engine.AggregateRiskEngine.run_stacked`,
+  which lowers the rows to a synthetic
+  :class:`~repro.core.plan.ExecutionPlan` executed by the backend's plan
+  scheduler) over the YET.  A streamed variant (``replication_block``) draws
+  and prices blocks of replications so the chunked/multicore backends keep
+  their bounded working set.
 * **replay** (``method="replay"``) — the original per-replication loop: one
   full engine invocation per replication.  It consumes the *same*
   per-replication child streams, so with a fixed seed the two methods produce

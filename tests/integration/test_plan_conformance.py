@@ -1,0 +1,266 @@
+"""Golden conformance: plan-lowered execution is bit-identical to legacy.
+
+The PR that introduced the ExecutionPlan IR kept every backend's pre-plan
+dispatch one release behind this suite: on seeded end-to-end workloads, the
+plan pipeline (facade -> :class:`~repro.core.plan.PlanBuilder` -> backend
+scheduler) must reproduce the legacy per-backend ``run`` **exactly** — not
+within tolerance — for every backend, both kernel paths (fused and
+per-layer), and the multicore transports.  The same bar applies to the
+workloads whose legacy per-backend copies were deleted outright:
+
+* ``run_many`` must equal the legacy recipe (concatenate into one combined
+  program, run, split by layer ranges) bit for bit — with and without row
+  deduplication;
+* ``run_stacked`` must equal the direct fused-kernel evaluation of the same
+  stack (the body of the deleted per-backend ``run_stacked`` methods).
+
+When these assertions hold for a release, the legacy paths can be removed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BACKEND_NAMES, EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.core.kernels import layer_trial_losses_batch
+from repro.financial.terms import LayerTerms
+from repro.portfolio.program import ReinsuranceProgram
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+#: Multicore runs use two workers so the block-stitching path is exercised.
+N_WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A seeded workload wide enough (5 layers) for fusion and splitting."""
+    spec = WorkloadSpec(
+        n_trials=60,
+        events_per_trial=25,
+        n_layers=5,
+        elts_per_layer=3,
+        catalog_size=1200,
+        buildings_per_exposure=40,
+        n_regions=8,
+        fixed_trial_length=False,
+        seed=2012,
+    )
+    return WorkloadGenerator(spec).generate()
+
+
+def _engines(backend: str, **overrides):
+    """(plan-dispatch engine, legacy-dispatch engine) for one backend config."""
+    base = EngineConfig(backend=backend, n_workers=N_WORKERS, **overrides)
+    return (
+        AggregateRiskEngine(base),
+        AggregateRiskEngine(base.replace(execution="legacy")),
+    )
+
+
+def _assert_identical(plan_result, legacy_result):
+    assert np.array_equal(plan_result.ylt.losses, legacy_result.ylt.losses)
+    plan_max = plan_result.ylt.max_occurrence_losses
+    legacy_max = legacy_result.ylt.max_occurrence_losses
+    if legacy_max is None:
+        assert plan_max is None
+    else:
+        assert np.array_equal(plan_max, legacy_max)
+    assert plan_result.ylt.layer_names == legacy_result.ylt.layer_names
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_run_plan_vs_legacy_bit_identical(workload, backend):
+    """`run` through the plan pipeline == the legacy dispatch, exactly."""
+    plan_engine, legacy_engine = _engines(backend)
+    _assert_identical(
+        plan_engine.run(workload.program, workload.yet),
+        legacy_engine.run(workload.program, workload.yet),
+    )
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_run_plan_vs_legacy_perlayer_bit_identical(workload, backend):
+    """The fused_layers=False ablation stays bit-identical under plans."""
+    plan_engine, legacy_engine = _engines(backend, fused_layers=False)
+    _assert_identical(
+        plan_engine.run(workload.program, workload.yet),
+        legacy_engine.run(workload.program, workload.yet),
+    )
+
+
+@pytest.mark.parametrize("backend", ("vectorized", "chunked"))
+def test_run_plan_vs_legacy_cumulative_ablation(workload, backend):
+    """use_aggregate_shortcut=False stays bit-identical under plans."""
+    plan_engine, legacy_engine = _engines(backend, use_aggregate_shortcut=False)
+    _assert_identical(
+        plan_engine.run(workload.program, workload.yet),
+        legacy_engine.run(workload.program, workload.yet),
+    )
+
+
+@pytest.mark.parametrize("shared_memory", ("on", "off"))
+def test_multicore_transports_bit_identical(workload, shared_memory):
+    """Shared-memory and pickling transports agree with the legacy run exactly."""
+    plan_engine, legacy_engine = _engines("multicore", shared_memory=shared_memory)
+    _assert_identical(
+        plan_engine.run(workload.program, workload.yet),
+        legacy_engine.run(workload.program, workload.yet),
+    )
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@pytest.mark.parametrize("dedupe", (True, False), ids=["dedupe", "no-dedupe"])
+def test_run_many_vs_legacy_recipe_bit_identical(workload, backend, dedupe):
+    """run_many == concatenate -> legacy run -> split, exactly, on all backends.
+
+    The term variants share their layers' ELT objects, so the dedupe=True
+    case exercises the row_map expansion against the fully expanded legacy
+    stack.
+    """
+    program = workload.program
+    variant = ReinsuranceProgram(
+        [
+            layer.with_terms(
+                LayerTerms(
+                    occurrence_retention=layer.terms.occurrence_retention * 1.5,
+                    occurrence_limit=layer.terms.occurrence_limit,
+                    aggregate_retention=layer.terms.aggregate_retention,
+                    aggregate_limit=layer.terms.aggregate_limit,
+                )
+            )
+            for layer in program.layers
+        ],
+        name="variant",
+    )
+    plan_engine, legacy_engine = _engines(backend)
+    results = plan_engine.run_many([program, variant], workload.yet, dedupe=dedupe)
+
+    # The legacy run_many recipe: one combined program, one run, split back.
+    combined = ReinsuranceProgram(
+        list(program.layers) + list(variant.layers), name="batch"
+    )
+    legacy = legacy_engine.run(combined, workload.yet)
+    n = program.n_layers
+    assert np.array_equal(results[0].ylt.losses, legacy.ylt.losses[:n])
+    assert np.array_equal(results[1].ylt.losses, legacy.ylt.losses[n:])
+    assert results[0].details["batch"]["n_programs"] == 2
+    assert results[1].details["batch"]["total_layers"] == combined.n_layers
+
+
+@pytest.mark.parametrize("backend", ("vectorized", "chunked", "multicore"))
+def test_run_stacked_vs_direct_kernel_bit_identical(workload, backend):
+    """run_stacked == the deleted per-backend implementations' kernel call.
+
+    The deleted implementations were a single fused-kernel call over the
+    whole YET (vectorized/chunked) or that same call per trial block
+    (multicore).  A single multicore worker owns one block spanning every
+    trial, so all three backends must reproduce the direct call bit for bit.
+    """
+    program = workload.program
+    stack = np.stack(
+        [layer.loss_matrix().combined_net_losses() for layer in program.layers]
+    )
+    terms = [layer.terms for layer in program.layers]
+    engine = AggregateRiskEngine(EngineConfig(backend=backend, n_workers=1))
+    result = engine.run_stacked(stack, terms, workload.yet)
+
+    config = engine.config
+    expected, expected_max = layer_trial_losses_batch(
+        (),
+        workload.yet.event_ids,
+        workload.yet.trial_offsets,
+        terms,
+        use_shortcut=config.use_aggregate_shortcut,
+        record_max_occurrence=config.record_max_occurrence,
+        stack=stack,
+        chunk_events=config.chunk_events if backend == "chunked" else None,
+    )
+    assert np.array_equal(result.ylt.losses, expected)
+    assert np.array_equal(result.ylt.max_occurrence_losses, expected_max)
+
+
+def test_run_stacked_multicore_worker_invariance(workload):
+    """Sharding the stacked rows over workers never moves the results.
+
+    Per-block accumulation may round differently from the whole-YET pass in
+    the last couple of bits (exactly as the deleted multicore run_stacked
+    did), so worker counts are compared at 1e-12 relative tolerance.
+    """
+    program = workload.program
+    stack = np.stack(
+        [layer.loss_matrix().combined_net_losses() for layer in program.layers]
+    )
+    terms = [layer.terms for layer in program.layers]
+    reference = None
+    for n_workers in (1, 2, 3):
+        engine = AggregateRiskEngine(
+            EngineConfig(backend="multicore", n_workers=n_workers)
+        )
+        losses = engine.run_stacked(stack, terms, workload.yet).ylt.losses
+        if reference is None:
+            reference = losses
+        else:
+            np.testing.assert_allclose(losses, reference, rtol=1e-12)
+
+
+@pytest.mark.parametrize("backend", ("sequential", "gpu"))
+def test_run_stacked_still_rejected_on_reference_backends(workload, backend):
+    engine = AggregateRiskEngine(EngineConfig(backend=backend))
+    stack = np.zeros((1, workload.program.catalog_size))
+    with pytest.raises(ValueError, match="stacked execution path"):
+        engine.run_stacked(stack, [LayerTerms()], workload.yet)
+
+
+def test_dedupe_and_no_dedupe_bit_identical(workload):
+    """Row deduplication may never change a single bit of any program's YLT."""
+    program = workload.program
+    variants = [program] + [
+        ReinsuranceProgram(
+            [
+                layer.with_terms(
+                    LayerTerms(occurrence_retention=float(50_000 * i))
+                )
+                for layer in program.layers
+            ],
+            name=f"variant-{i}",
+        )
+        for i in range(1, 4)
+    ]
+    engine = AggregateRiskEngine(EngineConfig())
+    deduped = engine.run_many(variants, workload.yet, dedupe=True)
+    expanded = engine.run_many(variants, workload.yet, dedupe=False)
+    assert deduped[0].details["plan"]["n_unique_rows"] == program.n_layers
+    assert expanded[0].details["plan"]["n_unique_rows"] == 4 * program.n_layers
+    for lhs, rhs in zip(deduped, expanded):
+        assert np.array_equal(lhs.ylt.losses, rhs.ylt.losses)
+
+
+def test_uncertainty_batched_path_unchanged_by_plan_lowering(workload):
+    """The stacked uncertainty engine is bit-stable across the refactor.
+
+    run_batched == replay was PR 2's golden guarantee; it must survive
+    run_stacked's lowering to a synthetic plan.
+    """
+    from repro.uncertainty import (
+        SecondaryUncertaintyAnalysis,
+        UncertainEventLossTable,
+        UncertainLayer,
+    )
+
+    layers = [
+        UncertainLayer(
+            elts=[UncertainEventLossTable.from_elt(elt, cv=0.4) for elt in layer.elts],
+            terms=layer.terms,
+            name=layer.name,
+        )
+        for layer in workload.program.layers[:2]
+    ]
+    analysis = SecondaryUncertaintyAnalysis(
+        layers, config=EngineConfig(record_max_occurrence=False)
+    )
+    batched = analysis.run_batched(workload.yet, 8, rng=99, method="batched")
+    replay = analysis.run_batched(workload.yet, 8, rng=99, method="replay")
+    for name in replay:
+        np.testing.assert_allclose(
+            batched[name].values, replay[name].values, rtol=1e-9, atol=0.0
+        )

@@ -1,9 +1,55 @@
-"""Tests for repro.parallel.shared_memory."""
+"""Tests for repro.parallel.shared_memory.
+
+Besides the in-process round-trips, this module covers the two contracts the
+multicore plan scheduler depends on:
+
+* descriptors reconstruct zero-copy views **across a spawn boundary** (a
+  worker process that shares nothing with the parent);
+* segments can never leak: the owner unlinks on every exit path — normal
+  close, worker death mid-block, even an interpreter exit that skipped
+  ``close()`` (the atexit guard).
+"""
+
+import multiprocessing as mp
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.parallel.shared_memory import SharedArray, SharedWorkspace
+
+SHM_DIR = Path("/dev/shm")
+
+
+def _shm_entries() -> set:
+    """Names of the POSIX shared-memory segments currently alive."""
+    if not SHM_DIR.exists():  # pragma: no cover - non-Linux fallback
+        return set()
+    return {p.name for p in SHM_DIR.iterdir() if p.name.startswith("psm_")}
+
+
+def _spawn_roundtrip_child(descriptor, queue):
+    """Spawn-target: attach by descriptor, verify, write a sentinel back."""
+    attached = SharedArray.attach(descriptor)
+    try:
+        queue.put(float(attached.array[3]))
+        attached.array[0] = 123.5  # visible to the parent: same physical pages
+    finally:
+        attached.close()
+
+
+def _sigkill_attach_child(descriptor, ready):
+    """Spawn-target: attach, signal readiness, then wait to be SIGKILLed."""
+    attached = SharedArray.attach(descriptor)
+    ready.put(True)
+    while True:  # pragma: no cover - killed from outside
+        time.sleep(0.05)
+        assert attached.array is not None
 
 
 class TestSharedArray:
@@ -81,3 +127,119 @@ class TestSharedWorkspace:
             finally:
                 for shared in attachments.values():
                     shared.close()
+
+
+class TestCrossProcess:
+    """Descriptor -> attach round-trips across a real process boundary."""
+
+    def test_descriptor_attach_roundtrip_across_spawn(self):
+        """A spawned worker (shares nothing) reconstructs the view by name."""
+        ctx = mp.get_context("spawn")
+        source = np.arange(16, dtype=np.float64)
+        with SharedArray.from_array(source) as owner:
+            queue = ctx.Queue()
+            child = ctx.Process(
+                target=_spawn_roundtrip_child, args=(owner.descriptor, queue)
+            )
+            child.start()
+            try:
+                assert queue.get(timeout=60) == 3.0
+            finally:
+                child.join(timeout=60)
+            assert child.exitcode == 0
+            # The child's write landed in the same physical pages.
+            assert owner.array[0] == 123.5
+
+    def test_worker_killed_mid_attachment_leaves_no_segment(self):
+        """SIGKILLing an attached worker must not pin (or leak) the segment."""
+        before = _shm_entries()
+        ctx = mp.get_context("spawn")
+        owner = SharedArray.from_array(np.zeros(1024))
+        ready = ctx.Queue()
+        child = ctx.Process(target=_sigkill_attach_child, args=(owner.descriptor, ready))
+        child.start()
+        try:
+            assert ready.get(timeout=60)
+            os.kill(child.pid, signal.SIGKILL)
+            child.join(timeout=60)
+        finally:
+            owner.close()
+        assert child.exitcode == -signal.SIGKILL
+        assert _shm_entries() - before == set()
+
+
+class TestLifecycleGuarantees:
+    """No exit path may leak a /dev/shm segment."""
+
+    def test_close_unlinks_segment(self):
+        before = _shm_entries()
+        shared = SharedArray.from_array(np.zeros(256))
+        name = shared.descriptor.shm_name.lstrip("/")
+        assert name in _shm_entries()
+        shared.close()
+        assert _shm_entries() - before == set()
+
+    def test_workspace_close_unlinks_all(self):
+        before = _shm_entries()
+        workspace = SharedWorkspace()
+        workspace.add("a", np.zeros(128))
+        workspace.add("b", np.zeros(128))
+        workspace.close()
+        assert _shm_entries() - before == set()
+
+    def test_atexit_guard_unlinks_unclosed_owner(self):
+        """An interpreter exit that skipped close() still unlinks the segment.
+
+        The child deliberately leaks: it creates an owner, keeps a module
+        global alive so GC cannot save the day, prints the segment name and
+        exits.  The atexit guard must have unlinked it.
+        """
+        code = (
+            "import numpy as np\n"
+            "from repro.parallel.shared_memory import SharedArray\n"
+            "leaked = SharedArray.from_array(np.zeros(512))\n"
+            "print(leaked.descriptor.shm_name.lstrip('/'))\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.strip()
+        assert name.startswith("psm_")
+        assert name not in _shm_entries()
+        # The guard (not the stderr-spamming resource tracker) did the work.
+        assert "leaked shared_memory" not in proc.stderr
+
+    def test_worker_dying_mid_block_leaks_no_segment(self, tiny_workload, monkeypatch):
+        """A worker raising mid-block: run fails, but every segment is gone."""
+        from repro.core import multicore as multicore_module
+        from repro.core.config import EngineConfig
+        from repro.core.multicore import MulticoreEngine
+        from repro.core.plan import PlanBuilder
+
+        monkeypatch.setattr(multicore_module, "_analyse_block", _exploding_block)
+        before = _shm_entries()
+        engine = MulticoreEngine(
+            EngineConfig(
+                backend="multicore",
+                n_workers=2,
+                start_method="fork",
+                shared_memory="on",
+            )
+        )
+        plan = PlanBuilder.from_program(tiny_workload.program, tiny_workload.yet)
+        with pytest.raises(RuntimeError, match="worker died mid-block"):
+            engine.run_plan(plan)
+        assert _shm_entries() - before == set()
+
+
+def _exploding_block(context, block):
+    """Module-level (hence picklable) block function simulating a dying worker."""
+    raise RuntimeError("worker died mid-block")

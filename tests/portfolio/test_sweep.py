@@ -1,0 +1,151 @@
+"""Tests for the streaming portfolio sweep service."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.financial.terms import LayerTerms
+from repro.portfolio.pricing import batch_quote
+from repro.portfolio.program import ReinsuranceProgram
+from repro.portfolio.sweep import PortfolioSweepService, SweepBlock
+
+
+def _variants(program, n):
+    """n candidate-term variants sharing the program's ELT objects."""
+    variants = []
+    for i in range(n):
+        scale = 1.0 + 0.2 * i
+        layers = [
+            layer.with_terms(
+                LayerTerms(
+                    occurrence_retention=layer.terms.occurrence_retention * scale,
+                    occurrence_limit=layer.terms.occurrence_limit,
+                    aggregate_retention=layer.terms.aggregate_retention * scale,
+                    aggregate_limit=layer.terms.aggregate_limit,
+                )
+            )
+            for layer in program.layers
+        ]
+        variants.append(ReinsuranceProgram(layers, name=f"variant-{i}"))
+    return variants
+
+
+class TestSweepBlocks:
+    def test_single_block_by_default(self, tiny_workload):
+        service = PortfolioSweepService(config=EngineConfig())
+        variants = _variants(tiny_workload.program, 3)
+        blocks = list(service.sweep(variants, tiny_workload.yet))
+        assert len(blocks) == 1
+        assert blocks[0].n_programs == 3
+        assert blocks[0].n_rows == 3 * tiny_workload.program.n_layers
+
+    def test_row_bound_splits_blocks(self, tiny_workload):
+        service = PortfolioSweepService(config=EngineConfig())
+        variants = _variants(tiny_workload.program, 5)
+        n_layers = tiny_workload.program.n_layers
+        blocks = list(
+            service.sweep(variants, tiny_workload.yet, max_rows_per_block=2 * n_layers)
+        )
+        assert [b.n_programs for b in blocks] == [2, 2, 1]
+        assert [b.index for b in blocks] == [0, 1, 2]
+        # Programs are never split across blocks and arrive in order.
+        names = [p.name for b in blocks for p in b.programs]
+        assert names == [f"variant-{i}" for i in range(5)]
+
+    def test_dedup_within_block(self, tiny_workload):
+        service = PortfolioSweepService(config=EngineConfig())
+        variants = _variants(tiny_workload.program, 4)
+        (block,) = service.sweep(variants, tiny_workload.yet)
+        assert block.n_rows == 4 * tiny_workload.program.n_layers
+        assert block.n_unique_rows == tiny_workload.program.n_layers
+        assert block.dedup_factor == pytest.approx(4.0)
+        assert "x4.00 shared" in block.summary()
+
+    def test_no_dedupe(self, tiny_workload):
+        service = PortfolioSweepService(config=EngineConfig())
+        variants = _variants(tiny_workload.program, 2)
+        (block,) = service.sweep(variants, tiny_workload.yet, dedupe=False)
+        assert block.n_unique_rows == block.n_rows
+
+    def test_generator_is_lazy(self, tiny_workload):
+        """Block k is only executed when the caller advances past k-1."""
+        calls = []
+
+        class CountingEngine(AggregateRiskEngine):
+            def run_plan(self, plan):
+                calls.append(plan.n_rows)
+                return super().run_plan(plan)
+
+        service = PortfolioSweepService(engine=CountingEngine(EngineConfig()))
+        variants = _variants(tiny_workload.program, 4)
+        n_layers = tiny_workload.program.n_layers
+        stream = service.sweep(
+            variants, tiny_workload.yet, max_rows_per_block=n_layers
+        )
+        assert calls == []
+        next(stream)
+        assert len(calls) == 1
+        next(stream)
+        assert len(calls) == 2
+
+    def test_empty_sweep_rejected(self, tiny_workload):
+        service = PortfolioSweepService(config=EngineConfig())
+        with pytest.raises(ValueError, match="at least one"):
+            list(service.sweep([], tiny_workload.yet))
+
+    def test_negative_block_bound_rejected(self, tiny_workload):
+        service = PortfolioSweepService(config=EngineConfig())
+        with pytest.raises(ValueError, match="non-negative"):
+            list(service.sweep([tiny_workload.program], tiny_workload.yet,
+                               max_rows_per_block=-1))
+
+    def test_accepts_bare_layer(self, tiny_workload):
+        service = PortfolioSweepService(config=EngineConfig())
+        (block,) = service.sweep([tiny_workload.program[0]], tiny_workload.yet)
+        assert block.n_rows == 1
+        assert block.quotes[0].n_layers == 1
+
+
+class TestSweepQuotes:
+    def test_quotes_match_batch_quote(self, tiny_workload):
+        """The streaming sweep prices exactly like the one-shot batch path."""
+        variants = _variants(tiny_workload.program, 3)
+        engine = AggregateRiskEngine(EngineConfig())
+        expected = batch_quote(variants, tiny_workload.yet, engine=engine)
+        service = PortfolioSweepService(engine=engine)
+        quotes = service.quote_all(variants, tiny_workload.yet)
+        assert len(quotes) == 3
+        for got, want in zip(quotes, expected):
+            assert got.program_name == want.program_name
+            assert got.total_premium == pytest.approx(want.total_premium, rel=1e-12)
+
+    def test_block_size_never_changes_quotes(self, tiny_workload):
+        variants = _variants(tiny_workload.program, 4)
+        service = PortfolioSweepService(config=EngineConfig())
+        one_block = service.quote_all(variants, tiny_workload.yet)
+        n_layers = tiny_workload.program.n_layers
+        per_program = service.quote_all(
+            variants, tiny_workload.yet, max_rows_per_block=n_layers
+        )
+        for lhs, rhs in zip(one_block, per_program):
+            assert lhs.total_expected_loss == rhs.total_expected_loss
+            assert lhs.total_premium == rhs.total_premium
+
+    def test_results_align_with_programs(self, tiny_workload):
+        variants = _variants(tiny_workload.program, 2)
+        service = PortfolioSweepService(config=EngineConfig())
+        (block,) = service.sweep(variants, tiny_workload.yet)
+        solo = AggregateRiskEngine(EngineConfig()).run(variants[1], tiny_workload.yet)
+        assert np.array_equal(block.results[1].ylt.losses, solo.ylt.losses)
+
+    def test_multicore_backend_sweep(self, tiny_workload):
+        service = PortfolioSweepService(
+            config=EngineConfig(backend="multicore", n_workers=2)
+        )
+        variants = _variants(tiny_workload.program, 2)
+        reference = PortfolioSweepService(config=EngineConfig())
+        multicore_quotes = service.quote_all(variants, tiny_workload.yet)
+        vector_quotes = reference.quote_all(variants, tiny_workload.yet)
+        for lhs, rhs in zip(multicore_quotes, vector_quotes):
+            assert lhs.total_premium == pytest.approx(rhs.total_premium, rel=1e-9)

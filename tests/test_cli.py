@@ -34,6 +34,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["uncertainty", "--replications", "0"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.variants == 8
+        assert args.block_rows == 0
+        assert args.no_dedupe is False
+
+    def test_sweep_rejects_zero_variants(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--variants", "0"])
+
 
 class TestCommands:
     def test_run_tiny(self, capsys):
@@ -62,6 +72,35 @@ class TestCommands:
         assert main(["run", "--preset", "tiny", "--batch", "2", "--backend", "chunked"]) == 0
         out = capsys.readouterr().out
         assert "one chunked invocation" in out
+
+    def test_sweep_streams_blocks(self, capsys):
+        assert main(["sweep", "--preset", "tiny", "--variants", "4",
+                     "--block-rows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "block 0" in out and "block 1" in out
+        assert out.count("premium=") == 4
+        assert "4 quotes" in out
+
+    def test_sweep_single_block_dedupes_rows(self, capsys):
+        assert main(["sweep", "--preset", "tiny", "--variants", "3"]) == 0
+        out = capsys.readouterr().out
+        # 3 variants x 2 layers share the tiny preset's 2 unique ELT rows.
+        assert "6 rows (2 unique" in out
+
+    def test_sweep_no_dedupe(self, capsys):
+        assert main(["sweep", "--preset", "tiny", "--variants", "2",
+                     "--no-dedupe"]) == 0
+        out = capsys.readouterr().out
+        assert "4 rows (4 unique" in out
+
+    def test_sweep_matches_batch_quotes(self, capsys):
+        assert main(["run", "--preset", "tiny", "--batch", "3"]) == 0
+        batch_out = capsys.readouterr().out
+        assert main(["sweep", "--preset", "tiny", "--variants", "3"]) == 0
+        sweep_out = capsys.readouterr().out
+        batch_quotes = [l for l in batch_out.splitlines() if "premium=" in l]
+        sweep_quotes = [l for l in sweep_out.splitlines() if "premium=" in l]
+        assert [q.strip() for q in batch_quotes] == [q.strip() for q in sweep_quotes]
 
     def test_metrics_report(self, capsys):
         assert main(["metrics", "--preset", "tiny", "--return-periods", "10,50"]) == 0
