@@ -1,0 +1,145 @@
+"""RiskService plan/stack caching: warm cached requests vs cold requests.
+
+The serving story of the request/response redesign is that the expensive
+pre-kernel work — lowering the program to an ExecutionPlan, building each
+layer's dense loss matrix, stacking the term-netted rows — is a pure
+function of the request content, so a warm :class:`~repro.service.RiskService`
+answers a repeated request straight from its content-addressed
+:class:`~repro.service.PlanCache`.  This harness measures what that buys on
+the 16-layer batch-pricing program:
+
+* ``test_service_cache_requests`` — pytest-benchmark measurements of the
+  cold path (fresh service + fresh layer objects per request, so every
+  matrix and the stack are rebuilt) and the warm path (one service, the
+  same request repeated);
+* ``test_warm_cached_speedup_at_16_layers`` — a plain assertion (runs
+  without ``--benchmark-only``) that the warm request is at least 2x faster
+  than the cold one, the acceptance criterion of the RiskService work, with
+  the bit-identity of warm and cold results cross-checked.  Emits
+  ``BENCH_service_cache.json``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
+from repro.service import AnalysisRequest, RiskService
+
+from .conftest import build_workload
+from .record import record_benchmark
+
+CACHE_TRIALS = 400
+CACHE_EVENTS = 60
+CACHE_LAYERS = 16
+CACHE_ELTS = 8
+CACHE_CATALOG = 40_000
+
+REQUEST = AnalysisRequest(kind="run", program="book", quote=False)
+
+
+def _workload():
+    return build_workload(
+        n_trials=CACHE_TRIALS,
+        events_per_trial=CACHE_EVENTS,
+        n_layers=CACHE_LAYERS,
+        elts_per_layer=CACHE_ELTS,
+        catalog_size=CACHE_CATALOG,
+    )
+
+
+def _fresh_program(workload) -> ReinsuranceProgram:
+    """The benchmark program with every per-layer matrix cache dropped.
+
+    The ELT objects are shared (they are the immutable inputs a real
+    service would hold), but each cold request gets brand-new ``Layer``
+    wrappers, so the dense matrices and the fused stack must be rebuilt —
+    exactly what a cold cache costs.
+    """
+    return ReinsuranceProgram(
+        [Layer(layer.elts, layer.terms, name=layer.name) for layer in workload.program.layers],
+        name=workload.program.name,
+    )
+
+
+def _cold_request_seconds(workload) -> float:
+    service = RiskService(EngineConfig(backend="vectorized"))
+    service.register_program("book", _fresh_program(workload))
+    service.register_yet("book", workload.yet)
+    start = time.perf_counter()
+    response = service.submit(REQUEST)
+    seconds = time.perf_counter() - start
+    assert response.cache.hit is False
+    return seconds
+
+
+@pytest.mark.benchmark(group="service-cache")
+@pytest.mark.parametrize("path", ["cold", "warm"])
+def test_service_cache_requests(benchmark, path):
+    workload = _workload()
+    if path == "cold":
+        benchmark(lambda: _cold_request_seconds(workload))
+    else:
+        service = RiskService(EngineConfig(backend="vectorized"))
+        service.register_workload("book", workload)
+        service.submit(REQUEST)  # populate the cache
+        benchmark(lambda: service.submit(REQUEST))
+    benchmark.extra_info["n_layers"] = CACHE_LAYERS
+    benchmark.extra_info["path"] = path
+
+
+def _best_of(n_repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n_repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_warm_cached_speedup_at_16_layers():
+    """Acceptance: a warm cached request >= 2x faster than a cold request."""
+    workload = _workload()
+
+    # Correctness cross-check first: cold, warm and a fresh-service rerun
+    # must agree bit for bit — the cache may change latency, never results.
+    service = RiskService(EngineConfig(backend="vectorized"))
+    service.register_program("book", _fresh_program(workload))
+    service.register_yet("book", workload.yet)
+    cold_response = service.submit(REQUEST)
+    warm_response = service.submit(REQUEST)
+    assert cold_response.cache.hit is False
+    assert warm_response.cache.hit is True
+    np.testing.assert_array_equal(
+        cold_response.result.ylt.losses, warm_response.result.ylt.losses
+    )
+
+    cold_seconds = _best_of(3, lambda: _cold_request_seconds(workload))
+    warm_seconds = _best_of(5, lambda: service.submit(REQUEST))
+    speedup = cold_seconds / warm_seconds
+    record_benchmark(
+        "service_cache",
+        backend="vectorized",
+        shape={
+            "n_trials": CACHE_TRIALS,
+            "events_per_trial": CACHE_EVENTS,
+            "n_layers": CACHE_LAYERS,
+            "elts_per_layer": CACHE_ELTS,
+            "catalog_size": CACHE_CATALOG,
+        },
+        baseline_seconds=cold_seconds,
+        candidate_seconds=warm_seconds,
+        threshold=2.0,
+        meta={
+            "baseline": "cold request: lower plan + build matrices + fused stack",
+            "candidate": "warm request: content-addressed PlanCache hit",
+            "cache": service.cache_stats().summary(),
+        },
+    )
+    assert speedup >= 2.0, (
+        f"warm cached request is only {speedup:.2f}x faster than cold "
+        f"({warm_seconds:.4f}s vs {cold_seconds:.4f}s)"
+    )

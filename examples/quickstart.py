@@ -16,7 +16,11 @@ This is the 60-second tour of the library:
 6. stream a wider term sweep through the PortfolioSweepService: the variants
    lower to one ExecutionPlan per block — identical ELT gathers are shared
    across variants — and quotes stream out block by block (CLI equivalent:
-   ``are sweep --variants 6 --block-rows 4``).
+   ``are sweep --variants 6 --block-rows 4``),
+7. serve repeated requests from a warm RiskService: declarative JSON-able
+   requests, a content-addressed cache of lowered plans and fused stacks,
+   and cache/timing metadata on every response (CLI equivalents:
+   ``are request --json '{...}'`` and the ``are serve`` NDJSON loop).
 
 Every entry point above lowers to the same ExecutionPlan IR (one workload
 description of tiles over trial blocks x stacked layer rows) that all five
@@ -30,7 +34,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import AggregateRiskEngine, EngineConfig
+from repro import AggregateRiskEngine, EngineConfig, RiskService
 from repro.financial.terms import LayerTerms
 from repro.portfolio import PortfolioSweepService, ReinsuranceProgram, batch_quote
 from repro.uncertainty import (
@@ -157,6 +161,28 @@ def main() -> None:
         print("  ", block.summary())
         for quote in block.quotes:
             print("    ", quote.summary())
+
+    # ------------------------------------------------------------------ #
+    # 7. Serve it: a warm RiskService answers declarative requests.  The
+    #    request is pure data (dict/JSON); the service resolves the names
+    #    against its registry, and a content-addressed PlanCache reuses the
+    #    lowered plan + fused loss stack across requests — the second,
+    #    warm submission skips every pre-kernel step and is bit-identical
+    #    to the first.  `service.submit(request.to_json())` would behave
+    #    identically, which is exactly what `are serve` does per stdin line.
+    # ------------------------------------------------------------------ #
+    risk_service = RiskService(EngineConfig(backend="vectorized"))
+    risk_service.register_workload("renewal", workload)
+    request = {"kind": "run", "program": "renewal"}
+    cold = risk_service.submit(request)
+    warm = risk_service.submit(request)
+    print("\nRiskService request/response (same request twice):")
+    print("   cold:", cold.summary())
+    print("   warm:", warm.summary())
+    print("  ", risk_service.cache_stats().summary())
+    print("   warm == cold bit-for-bit:",
+          bool((warm.result.ylt.losses == cold.result.ylt.losses).all()))
+    risk_service.close()
 
 
 if __name__ == "__main__":

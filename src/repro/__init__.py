@@ -18,6 +18,21 @@ Quickstart::
     engine = AggregateRiskEngine(EngineConfig(backend="vectorized"))
     result = engine.run(workload.program, workload.yet)
     print(result.summary())
+
+Serving deployments front the engine with the request/response layer of
+:mod:`repro.service` instead — a warm engine plus a content-addressed cache
+of lowered execution plans and fused loss stacks::
+
+    from repro import AnalysisRequest, RiskService
+
+    service = RiskService(EngineConfig(backend="vectorized"))
+    service.register_program("renewal", workload.program)
+    service.register_yet("renewal", workload.yet)
+    response = service.submit({"kind": "run", "program": "renewal"})
+    print(response.summary(), service.cache_stats().summary())
+
+(CLI: ``are request`` for one JSON round trip, ``are serve`` for a warm
+NDJSON request loop).
 """
 
 from repro.core.config import EngineConfig
@@ -27,17 +42,29 @@ from repro.elt.table import EventLossTable
 from repro.financial.terms import FinancialTerms, LayerTerms
 from repro.portfolio.layer import Layer
 from repro.portfolio.program import ReinsuranceProgram
+from repro.service import (
+    AnalysisRequest,
+    AnalysisResponse,
+    PlanCache,
+    RequestValidationError,
+    RiskService,
+)
 from repro.yet.table import YearEventTable
 from repro.ylt.metrics import compute_risk_metrics
 from repro.ylt.table import YearLossTable
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "AggregateRiskEngine",
+    "AnalysisRequest",
+    "AnalysisResponse",
     "EngineConfig",
     "EngineResult",
+    "PlanCache",
+    "RequestValidationError",
+    "RiskService",
     "available_backends",
     "EventLossTable",
     "FinancialTerms",

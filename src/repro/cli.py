@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the everyday operations of the library::
+Eight subcommands cover the everyday operations of the library::
 
     are generate --preset bench --out yet.npz     # simulate & store a YET
     are run --preset bench --backend vectorized   # run an aggregate analysis
@@ -8,24 +8,34 @@ Six subcommands cover the everyday operations of the library::
     are sweep --variants 32 --block-rows 16       # stream a quote sweep
     are metrics --preset bench                    # run + print PML/TVaR report
     are uncertainty --replications 64 --cv 0.6    # replication-banded metrics
+    are request --json '{"kind": "run", ...}'     # answer one JSON request
+    are serve                                     # warm NDJSON request loop
     are project --trials 1000000                  # full-scale runtime projection
+
+Every pricing command is a thin shell over the
+:class:`~repro.service.service.RiskService` request path: the command
+builds a declarative :class:`~repro.service.request.AnalysisRequest`,
+submits it, and formats the uniform
+:class:`~repro.service.response.AnalysisResponse` — the same path a JSON
+request travels through ``are request``.  ``are serve`` keeps one *warm*
+service across many requests: the engine, the content-addressed plan cache
+and any multicore shared-memory workspaces persist between lines, so the
+second identical request skips lowering and stack building entirely::
+
+    printf '%s\n%s\n' \
+        '{"kind": "run", "program": "bench"}' \
+        '{"kind": "run", "program": "bench"}' | are serve
+    # line 1: "cache": {"hit": false, ...}   (cold: lower + stack build)
+    # line 2: "cache": {"hit": true,  ...}   (warm: straight to the kernels)
 
 ``run --batch N`` is the batched real-time pricing scenario: N candidate-term
 variants of the preset's program are priced in *one* engine invocation (their
 layers all flow through the fused multi-layer kernel together) and a quote
-line is printed per variant.
-
-``sweep`` is the streaming form of the same scenario, backed by
-:class:`~repro.portfolio.sweep.PortfolioSweepService`: the variants are
-grouped into row-bounded blocks, each block lowers to one ExecutionPlan
-(identical ELT gathers deduplicated across variants) and quotes stream out
-block by block — the many-quotes-from-one-engine-pass serving path.
-
-``uncertainty`` wraps the preset program's ELTs with per-event loss
-distributions and runs the replication-batched secondary-uncertainty engine:
-all replications are sampled up front and priced as fused stack rows in one
-pass over the YET, yielding percentile bands around every risk metric and a
-banded quote.
+line is printed per variant.  ``sweep`` is the streaming form of the same
+scenario (row-bounded blocks, identical ELT gathers deduplicated across
+variants).  ``uncertainty`` runs the replication-batched
+secondary-uncertainty engine and prints percentile bands around every risk
+metric plus a banded quote.
 
 The CLI operates on the synthetic workload presets; it exists so that the
 examples and benchmarks have a scriptable entry point (and so that a user can
@@ -35,24 +45,15 @@ poke at the engine without writing Python).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.core.config import BACKEND_NAMES, EngineConfig
-from repro.core.engine import AggregateRiskEngine
 from repro.core.projection import CPUCostModel, project_summary
-from repro.financial.terms import LayerTerms
 from repro.parallel.device import WorkloadShape
-from repro.portfolio.pricing import price_program
-from repro.portfolio.program import ReinsuranceProgram
-from repro.portfolio.sweep import PortfolioSweepService
-from repro.uncertainty import (
-    LossDistributionFamily,
-    SecondaryUncertaintyAnalysis,
-    UncertainEventLossTable,
-    UncertainLayer,
-)
-from repro.utils.timing import Timer
+from repro.service import AnalysisRequest, RequestValidationError, RiskService
+from repro.uncertainty import LossDistributionFamily
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.presets import preset, preset_names
 from repro.yet.io import save_yet
@@ -155,6 +156,29 @@ def build_parser() -> argparse.ArgumentParser:
     uncertainty.add_argument("--return-periods", default="100,250",
                              help="comma-separated PML return periods (years)")
 
+    request = subparsers.add_parser(
+        "request",
+        help="answer one declarative JSON analysis request through the RiskService",
+    )
+    _add_service_arguments(request)
+    request.add_argument(
+        "--json", dest="document", metavar="DOC",
+        help="inline JSON request document (see repro.service.AnalysisRequest)",
+    )
+    request.add_argument(
+        "--file", metavar="PATH",
+        help="read the JSON request document from PATH ('-' = stdin)",
+    )
+    request.add_argument(
+        "--pretty", action="store_true", help="indent the JSON response",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve JSON requests from stdin line by line (NDJSON) on one warm service",
+    )
+    _add_service_arguments(serve)
+
     project = subparsers.add_parser(
         "project", help="project full-scale runtimes with the analytical cost models"
     )
@@ -177,6 +201,15 @@ def _add_run_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--phases", action="store_true", help="record the phase breakdown")
 
 
+def _add_service_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--backend", default="vectorized", choices=BACKEND_NAMES)
+    sub.add_argument("--workers", type=int, default=1, help="workers for the multicore backend")
+    sub.add_argument(
+        "--cache-size", type=_positive_int, default=32,
+        help="plan-cache capacity of the service (default 32)",
+    )
+
+
 def _build_workload(args: argparse.Namespace):
     spec = preset(args.preset)
     if args.seed is not None:
@@ -188,10 +221,18 @@ def _build_config(args: argparse.Namespace) -> EngineConfig:
     return EngineConfig(
         backend=args.backend,
         n_workers=args.workers,
-        threads_per_block=args.threads_per_block,
-        gpu_chunk_size=args.chunk_size,
-        record_phases=args.phases,
+        threads_per_block=getattr(args, "threads_per_block", 256),
+        gpu_chunk_size=getattr(args, "chunk_size", 4),
+        record_phases=getattr(args, "phases", False),
     )
+
+
+def _build_service(args: argparse.Namespace, workload=None) -> RiskService:
+    """One warm RiskService per CLI invocation, preloaded with the workload."""
+    service = RiskService(config=_build_config(args))
+    if workload is not None:
+        service.register_workload(args.preset, workload)
+    return service
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -202,60 +243,23 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _candidate_variants(program: ReinsuranceProgram, n: int) -> list[ReinsuranceProgram]:
-    """N candidate-term variants of a program for the batch-pricing scenario.
-
-    Variant ``i`` scales every layer's occurrence and aggregate retentions by
-    ``1 + 0.25 * i`` (variant 0 is the program as written).  The layers'
-    cached dense loss matrices are shared across variants — only the layer
-    terms differ — so the batch run prices all variants from one stacked
-    gather without rebuilding any matrix.
-    """
-    # with_terms only shares a matrix that already exists, so build each
-    # layer's dense matrix (and its term-netted combined row) before cloning.
-    for layer in program.layers:
-        layer.loss_matrix().combined_net_losses()
-    variants = []
-    for i in range(n):
-        scale = 1.0 + 0.25 * i
-        layers = [
-            layer.with_terms(
-                LayerTerms(
-                    occurrence_retention=layer.terms.occurrence_retention * scale,
-                    occurrence_limit=layer.terms.occurrence_limit,
-                    aggregate_retention=layer.terms.aggregate_retention * scale,
-                    aggregate_limit=layer.terms.aggregate_limit,
-                )
-            )
-            for layer in program.layers
-        ]
-        variants.append(
-            ReinsuranceProgram(layers, name=f"{program.name}@retx{scale:.2f}")
-        )
-    return variants
-
-
 def _command_run(args: argparse.Namespace) -> int:
     workload = _build_workload(args)
-    engine = AggregateRiskEngine(_build_config(args))
+    service = _build_service(args, workload)
     if args.batch > 0:
-        variants = _candidate_variants(workload.program, args.batch)
-        wall = Timer().start()
-        results = engine.run_many(variants, workload.yet)
-        quotes = [
-            price_program(variant, result.ylt)
-            for variant, result in zip(variants, results)
-        ]
-        seconds = wall.stop()
+        response = service.submit(
+            AnalysisRequest(kind="run_many", program=args.preset, variants=args.batch)
+        )
         print(f"workload : {workload.summary()}")
-        print(f"batch    : {len(variants)} variants x {workload.program.n_layers} layers "
-              f"priced in one {engine.backend_name} invocation ({seconds:.4f}s)")
-        for quote in quotes:
+        print(f"batch    : {len(response.results)} variants x {workload.program.n_layers} layers "
+              f"priced in one {response.backend} invocation ({response.total_seconds:.4f}s)")
+        for quote in response.quotes:
             print(f"  {quote.summary()}")
-        if results[0].phase_breakdown is not None:
-            print(results[0].phase_breakdown.format_table())
+        if response.results[0].phase_breakdown is not None:
+            print(response.results[0].phase_breakdown.format_table())
         return 0
-    result = engine.run(workload.program, workload.yet)
+    response = service.submit(AnalysisRequest(kind="run", program=args.preset))
+    result = response.result
     print(f"workload : {workload.summary()}")
     print(f"result   : {result.summary()}")
     if result.phase_breakdown is not None:
@@ -265,35 +269,35 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_sweep(args: argparse.Namespace) -> int:
     workload = _build_workload(args)
-    variants = _candidate_variants(workload.program, args.variants)
-    service = PortfolioSweepService(
-        AggregateRiskEngine(_build_config(args))
-    )
+    service = _build_service(args, workload)
     print(f"workload : {workload.summary()}")
-    print(f"sweep    : {len(variants)} variants x {workload.program.n_layers} layers "
+    print(f"sweep    : {args.variants} variants x {workload.program.n_layers} layers "
           f"on {args.backend}"
           + (f", <= {args.block_rows} rows/block" if args.block_rows else ", one block"))
-    wall = Timer().start()
-    n_quotes = 0
-    for block in service.sweep(
-        variants,
-        workload.yet,
-        max_rows_per_block=args.block_rows,
-        dedupe=not args.no_dedupe,
-    ):
-        print(f"  {block.summary()}")
-        for quote in block.quotes:
+    response = service.submit(
+        AnalysisRequest(
+            kind="sweep",
+            program=args.preset,
+            variants=args.variants,
+            max_rows_per_block=args.block_rows,
+            dedupe=not args.no_dedupe,
+        )
+    )
+    cursor = 0
+    for block in response.details["blocks"]:
+        print(f"  {block['summary']}")
+        for quote in response.quotes[cursor : cursor + block["n_programs"]]:
             print(f"    {quote.summary()}")
-            n_quotes += 1
-    seconds = wall.stop()
-    print(f"total    : {n_quotes} quotes in {seconds:.4f}s")
+        cursor += block["n_programs"]
+    print(f"total    : {len(response.quotes)} quotes in {response.total_seconds:.4f}s")
     return 0
 
 
 def _command_metrics(args: argparse.Namespace) -> int:
     workload = _build_workload(args)
-    engine = AggregateRiskEngine(_build_config(args))
-    result = engine.run(workload.program, workload.yet)
+    service = _build_service(args, workload)
+    response = service.submit(AnalysisRequest(kind="run", program=args.preset))
+    result = response.result
     return_periods = tuple(float(x) for x in args.return_periods.split(",") if x)
     metrics = compute_risk_metrics(result.ylt.portfolio_losses(), return_periods=return_periods)
     print(f"workload : {workload.summary()}")
@@ -312,54 +316,99 @@ def _command_uncertainty(args: argparse.Namespace) -> int:
         )
         return 2
     workload = _build_workload(args)
-    family = LossDistributionFamily(args.family)
-    uncertain_layers = [
-        UncertainLayer(
-            elts=[
-                UncertainEventLossTable.from_elt(elt, cv=args.cv, family=family)
-                for elt in layer.elts
-            ],
-            terms=layer.terms,
-            name=layer.name,
-        )
-        for layer in workload.program.layers
-    ]
     config = _build_config(args).replace(
         record_max_occurrence=False, replication_block=args.block
     )
-    analysis = SecondaryUncertaintyAnalysis(uncertain_layers, config=config)
+    service = RiskService(config=config)
+    service.register_workload(args.preset, workload)
     return_periods = tuple(float(x) for x in args.return_periods.split(",") if x)
     # Fall back to the preset seed so the default invocation is reproducible.
     seed = args.seed if args.seed is not None else preset(args.preset).seed
 
-    wall = Timer().start()
-    summaries = analysis.run_batched(
-        workload.yet,
-        args.replications,
-        rng=seed,
-        return_periods=return_periods,
-        method=args.method,
+    response = service.submit(
+        AnalysisRequest(
+            kind="uncertainty",
+            program=args.preset,
+            replications=args.replications,
+            cv=args.cv,
+            family=args.family,
+            method=args.method,
+            replication_block=args.block,
+            return_periods=return_periods,
+            seed=seed,
+        )
     )
-    seconds = wall.stop()
 
     print(f"workload : {workload.summary()}")
     block_note = f", block={args.block}" if args.block else ""
-    print(f"analysis : {args.replications} replications (cv={args.cv:g}, {family.value}) "
-          f"via {args.method} on {config.backend}{block_note} in {seconds:.4f}s")
+    print(f"analysis : {args.replications} replications (cv={args.cv:g}, {args.family}) "
+          f"via {args.method} on {response.backend}{block_note} "
+          f"in {response.total_seconds:.4f}s")
     print()
     header = f"{'metric':<12}{'mean':>16}{'std':>14}{'p5':>16}{'p95':>16}"
     print(header)
     print("-" * len(header))
-    for name, summary in summaries.items():
+    for name, summary in response.bands.items():
         print(f"{name:<12}{summary.mean:>16,.0f}{summary.std:>14,.0f}"
               f"{summary.low:>16,.0f}{summary.high:>16,.0f}")
 
-    program = analysis.expected_program()
-    engine = AggregateRiskEngine(config)
-    quote = price_program(program, engine.run(program, workload.yet).ylt,
-                          uncertainty=summaries)
     print()
-    print(f"quote    : {quote.summary()}")
+    print(f"quote    : {response.quotes[0].summary()}")
+    return 0
+
+
+def _read_request_document(args: argparse.Namespace) -> str:
+    if args.document is not None and args.file is not None:
+        raise RequestValidationError("pass either --json or --file, not both")
+    if args.document is not None:
+        return args.document
+    if args.file is not None and args.file != "-":
+        with open(args.file, "r", encoding="utf-8") as handle:
+            return handle.read()
+    return sys.stdin.read()
+
+
+def _command_request(args: argparse.Namespace) -> int:
+    try:
+        document = _read_request_document(args)
+        with RiskService(
+            config=_build_config(args), cache_size=args.cache_size
+        ) as service:
+            response = service.submit(document)
+    except RequestValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(response.to_dict(), indent=2 if args.pretty else None, sort_keys=True))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Answer NDJSON requests from stdin on one warm service (one JSON line each)."""
+    answered = 0
+    with RiskService(config=_build_config(args), cache_size=args.cache_size) as service:
+        print(
+            f"serving on {args.backend} (plan cache: {args.cache_size} entries); "
+            "one JSON request per line",
+            file=sys.stderr,
+        )
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                response = service.submit(line)
+            except (RequestValidationError, ValueError) as exc:
+                # A bad request — or a valid one the engine rejects (e.g. a
+                # stacked workload on a reference backend) — answers with an
+                # error line; the warm service keeps serving.
+                print(json.dumps({"error": str(exc)}), flush=True)
+                continue
+            print(json.dumps(response.to_dict(), sort_keys=True), flush=True)
+            answered += 1
+        print(
+            f"served {answered} requests | {service.cache_stats().summary()}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -384,6 +433,8 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "metrics": _command_metrics,
     "uncertainty": _command_uncertainty,
+    "request": _command_request,
+    "serve": _command_serve,
     "project": _command_project,
 }
 

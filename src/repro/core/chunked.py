@@ -21,9 +21,9 @@ The streaming accumulation needs the telescoped aggregate shortcut; the
 
 :meth:`ChunkedEngine.run_plan` schedules the unified
 :class:`~repro.core.plan.ExecutionPlan` IR by streaming the plan's single
-row-complete tile through event chunks; :meth:`ChunkedEngine.run` is the
-legacy per-backend dispatch, kept one release behind the plan-vs-legacy
-conformance suite.
+row-complete tile through event chunks; it is the backend's *only* entry
+point — the pre-plan per-backend ``run`` dispatch was removed once the
+plan-vs-legacy conformance window closed.
 """
 
 from __future__ import annotations
@@ -34,12 +34,7 @@ from repro.core.config import EngineConfig
 from repro.core.kernels import layer_trial_losses_batch, layer_trial_losses_chunked
 from repro.core.plan import ExecutionPlan, finalize_plan_result
 from repro.core.results import EngineResult
-from repro.parallel.device import WorkloadShape
-from repro.portfolio.layer import Layer
-from repro.portfolio.program import ReinsuranceProgram
 from repro.utils.timing import PhaseTimer, Timer
-from repro.yet.table import YearEventTable
-from repro.ylt.table import YearLossTable
 
 __all__ = ["ChunkedEngine"]
 
@@ -93,76 +88,6 @@ class ChunkedEngine:
             wall.stop(),
             {"chunk_events": chunk_events, "fused_layers": fused},
             phase_breakdown=timer.breakdown() if config.record_phases else None,
-        )
-
-    # ------------------------------------------------------------------ #
-    # Legacy dispatch (one release behind the plan path)
-    # ------------------------------------------------------------------ #
-    def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
-        """Run the aggregate analysis for every layer of ``program`` over ``yet``.
-
-        .. deprecated::
-            This is the pre-plan dispatch, retained for the plan-vs-legacy
-            conformance suite (``EngineConfig(execution="legacy")``); it will
-            be removed once the deprecation window closes.
-        """
-        program = ReinsuranceProgram.wrap(program)
-        config = self.config
-        timer = PhaseTimer(enabled=config.record_phases)
-        wall = Timer().start()
-
-        n_trials = yet.n_trials
-        if config.fused_layers and config.use_aggregate_shortcut:
-            losses, max_occ = layer_trial_losses_batch(
-                [layer.loss_matrix() for layer in program.layers],
-                yet.event_ids,
-                yet.trial_offsets,
-                [layer.terms for layer in program.layers],
-                use_shortcut=config.use_aggregate_shortcut,
-                record_max_occurrence=config.record_max_occurrence,
-                timer=timer,
-                chunk_events=config.chunk_events,
-            )
-        else:
-            losses = np.zeros((program.n_layers, n_trials), dtype=np.float64)
-            max_occ = (
-                np.zeros((program.n_layers, n_trials), dtype=np.float64)
-                if config.record_max_occurrence
-                else None
-            )
-            for layer_index, layer in enumerate(program.layers):
-                matrix = layer.loss_matrix()
-                year_losses, trial_max = layer_trial_losses_chunked(
-                    matrix,
-                    yet.event_ids,
-                    yet.trial_offsets,
-                    layer.terms,
-                    chunk_events=config.chunk_events,
-                    use_shortcut=config.use_aggregate_shortcut,
-                    record_max_occurrence=config.record_max_occurrence,
-                    timer=timer,
-                )
-                losses[layer_index] = year_losses
-                if max_occ is not None and trial_max is not None:
-                    max_occ[layer_index] = trial_max
-
-        wall_seconds = wall.stop()
-        shape = WorkloadShape(
-            n_trials=n_trials,
-            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
-            n_elts=max(int(round(program.mean_elts_per_layer)), 1),
-            n_layers=program.n_layers,
-        )
-        return EngineResult(
-            ylt=YearLossTable(losses, program.layer_names, max_occ),
-            backend=self.name,
-            wall_seconds=wall_seconds,
-            workload_shape=shape,
-            phase_breakdown=timer.breakdown() if config.record_phases else None,
-            details={
-                "chunk_events": config.chunk_events,
-                "fused_layers": config.fused_layers and config.use_aggregate_shortcut,
-            },
         )
 
 

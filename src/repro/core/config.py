@@ -8,6 +8,7 @@ the benchmark sweeps trivial: change one field, re-run, compare.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
@@ -28,18 +29,23 @@ ELT_REPRESENTATIONS: tuple[str, ...] = ("direct", "sorted", "hashed")
 #: Names of the available engine backends.
 BACKEND_NAMES: tuple[str, ...] = ("sequential", "vectorized", "chunked", "multicore", "gpu")
 
-#: Facade dispatch modes: ``"plan"`` lowers every workload to an
-#: :class:`~repro.core.plan.ExecutionPlan` executed by the backend's plan
-#: scheduler; ``"legacy"`` routes ``run`` through the backend's original
-#: per-backend implementation (kept one release behind the plan-vs-legacy
-#: conformance suite, then removed).
-EXECUTION_MODES: tuple[str, ...] = ("plan", "legacy")
+#: Facade dispatch modes.  Only ``"plan"`` remains: every workload lowers to
+#: an :class:`~repro.core.plan.ExecutionPlan` executed by the backend's plan
+#: scheduler.  The pre-plan ``"legacy"`` per-backend dispatch was kept one
+#: release behind the plan-vs-legacy conformance suite and has now been
+#: removed as scheduled; requesting it raises with a migration hint.
+EXECUTION_MODES: tuple[str, ...] = ("plan",)
 
 #: Multicore transport of the plan's read-only arrays: ``"auto"`` publishes
 #: them through shared memory whenever workers cannot inherit the parent's
 #: address space (any start method except ``fork``), ``"on"``/``"off"`` force
 #: the choice.
 SHARED_MEMORY_MODES: tuple[str, ...] = ("auto", "on", "off")
+
+
+def _default_start_method() -> str:
+    """``fork`` where the platform offers it, else ``spawn`` (Windows)."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
 @dataclass(frozen=True)
@@ -51,13 +57,13 @@ class EngineConfig:
     backend:
         One of :data:`BACKEND_NAMES`.
     execution:
-        ``"plan"`` (default) lowers ``run`` to an
+        ``"plan"`` (the only mode) lowers ``run`` to an
         :class:`~repro.core.plan.ExecutionPlan` and executes it through the
         backend's plan scheduler — the single code path shared with
-        ``run_many``, ``run_stacked`` and the portfolio sweep.  ``"legacy"``
-        dispatches ``run`` through the backend's original implementation;
-        it exists for the plan-vs-legacy conformance suite and will be
-        removed next release.
+        ``run_many``, ``run_stacked``, the portfolio sweep and the
+        :class:`~repro.service.service.RiskService` request path.  The
+        pre-plan ``"legacy"`` dispatch has been removed; requesting it
+        raises a ``ValueError`` with a migration hint.
     shared_memory:
         How the multicore plan scheduler transports the fused loss stack and
         the YET columns to its workers: ``"auto"`` (default) attaches them
@@ -109,7 +115,11 @@ class EngineConfig:
         Work items per worker under dynamic scheduling (the paper's "threads
         per core").
     start_method:
-        Multiprocessing start method for the multicore backend.
+        Multiprocessing start method for the multicore backend; validated
+        against :func:`multiprocessing.get_all_start_methods` at
+        construction time so a typo fails here rather than deep inside the
+        executor.  Defaults to ``"fork"`` where the platform offers it and
+        ``"spawn"`` elsewhere (Windows).
     threads_per_block:
         CUDA-block size of the simulated *gpu* backend.
     gpu_chunk_size:
@@ -137,7 +147,7 @@ class EngineConfig:
     n_workers: int = 1
     scheduling: SchedulingPolicy = SchedulingPolicy.STATIC
     oversubscription: int = 1
-    start_method: str = "fork"
+    start_method: str = field(default_factory=_default_start_method)
     threads_per_block: int = 256
     gpu_chunk_size: int = 4
     gpu_optimised: bool = True
@@ -150,6 +160,15 @@ class EngineConfig:
                 f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
             )
         if self.execution not in EXECUTION_MODES:
+            if self.execution == "legacy":
+                raise ValueError(
+                    "execution='legacy' has been removed: the per-backend "
+                    "pre-plan dispatch was deleted after its deprecation "
+                    "window.  Drop the execution override — the plan "
+                    "pipeline (the default) is bit-identical to the old "
+                    "dispatch, as guaranteed by the retired plan-vs-legacy "
+                    "conformance suite."
+                )
             raise ValueError(
                 f"unknown execution mode {self.execution!r}; expected one of {EXECUTION_MODES}"
             )
@@ -173,6 +192,12 @@ class EngineConfig:
             raise ValueError(f"n_workers must be positive, got {self.n_workers}")
         if self.oversubscription <= 0:
             raise ValueError(f"oversubscription must be positive, got {self.oversubscription}")
+        available_start_methods = multiprocessing.get_all_start_methods()
+        if self.start_method not in available_start_methods:
+            raise ValueError(
+                f"unknown start_method {self.start_method!r}; this platform "
+                f"supports {tuple(available_start_methods)}"
+            )
         if self.threads_per_block <= 0:
             raise ValueError(f"threads_per_block must be positive, got {self.threads_per_block}")
         if self.gpu_chunk_size <= 0:

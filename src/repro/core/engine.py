@@ -43,9 +43,16 @@ The resulting banded quote of the uncertainty path looks like::
 
 (the CLI equivalent is ``are uncertainty --replications 64``).
 
-``EngineConfig(execution="legacy")`` routes :meth:`AggregateRiskEngine.run`
-through the pre-plan per-backend dispatch instead; it exists for the
-plan-vs-legacy conformance suite and will be removed next release.
+Long-lived serving deployments should front the engine with a
+:class:`~repro.service.service.RiskService`: it keeps one warm engine, a
+content-addressed cache of lowered plans and fused stacks, and (multicore)
+retained shared-memory workspaces, so repeated requests skip straight to
+the kernel pass — see :meth:`retain_shared_workspaces`.
+
+The pre-plan per-backend ``run`` dispatch (the former ``"legacy"`` execution
+mode) was kept one release behind the plan-vs-legacy conformance suite and
+has been removed as scheduled; requesting that mode on
+:class:`~repro.core.config.EngineConfig` now raises with a migration hint.
 
 The facade also provides :meth:`AggregateRiskEngine.compare_backends`, which
 runs the same workload through several backends (optionally through both the
@@ -121,13 +128,42 @@ class AggregateRiskEngine:
 
     def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
         """Run the aggregate analysis and return the full result object."""
-        if self.config.execution == "legacy":
-            return self._backend.run(program, yet)
         return self.run_plan(PlanBuilder.from_program(program, yet))
 
     def year_loss_table(self, program: ReinsuranceProgram | Layer, yet: YearEventTable):
         """Run the analysis and return only the Year Loss Table."""
         return self.run(program, yet).ylt
+
+    # ------------------------------------------------------------------ #
+    # Warm-engine lifecycle (used by the RiskService)
+    # ------------------------------------------------------------------ #
+    def retain_shared_workspaces(self, enabled: bool = True) -> None:
+        """Keep multicore shared-memory workspaces alive across runs.
+
+        With retention enabled, re-executing the *same*
+        :class:`~repro.core.plan.ExecutionPlan` object reuses the published
+        shared-memory workspace instead of copying the fused stack and YET
+        columns back into ``/dev/shm`` per call — the warm-request transport
+        of the :class:`~repro.service.service.RiskService`.  A retained
+        workspace is released when its plan is garbage collected, when
+        retention is disabled, or via :meth:`release_workspaces`.  Backends
+        without a shared-memory transport ignore the toggle.
+        """
+        backend = self._backend
+        if hasattr(backend, "retain_workspaces"):
+            backend.retain_workspaces = bool(enabled)
+            if not enabled:
+                backend.release_workspaces()
+
+    def release_workspaces(self) -> None:
+        """Close any shared-memory workspaces retained across runs."""
+        backend = self._backend
+        if hasattr(backend, "release_workspaces"):
+            backend.release_workspaces()
+
+    def close(self) -> None:
+        """Release every resource the engine holds beyond a single run."""
+        self.release_workspaces()
 
     def run_many(
         self,

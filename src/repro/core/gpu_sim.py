@@ -27,22 +27,13 @@ from repro.core.config import EngineConfig
 from repro.core.kernels import layer_trial_losses, layer_trial_losses_chunked
 from repro.core.results import EngineResult
 from repro.parallel.device import KernelConfig, KernelEstimate, SimulatedGPU, WorkloadShape
-from repro.portfolio.layer import Layer
-from repro.portfolio.program import ReinsuranceProgram
 from repro.utils.timing import PhaseTimer, Timer
-from repro.yet.table import YearEventTable
-from repro.ylt.table import YearLossTable
 
 __all__ = ["GPUSimulatedEngine"]
 
 
 def _launch_block(layer, event_ids, offsets, config: EngineConfig, timer: PhaseTimer):
-    """One simulated kernel launch: a block of trials for one layer.
-
-    The single implementation both the legacy per-layer loop and the plan
-    tile scheduler dispatch, so the optimised/basic kernel selection can
-    never drift between the two.
-    """
+    """One simulated kernel launch: a block of trials for one layer."""
     if config.gpu_optimised:
         return layer_trial_losses_chunked(
             layer.loss_matrix(),
@@ -91,10 +82,10 @@ class GPUSimulatedEngine:
         The plan's iteration space maps directly onto the device model: one
         simulated CUDA block is one :class:`~repro.parallel.partitioner.Tile`
         of ``threads_per_block`` trials x 1 row, and
-        :meth:`ExecutionPlan.tiles` emits them row-major — exactly the
-        launch order of the legacy per-layer loop, so plan-lowered execution
-        is bit-identical to :meth:`run`.  Synthetic plans (precomputed stack
-        rows without source layers) are not supported by the device model.
+        :meth:`ExecutionPlan.tiles` emits them row-major — the launch order
+        of the paper's per-layer kernel loop.  Synthetic plans (precomputed
+        stack rows without source layers) are not supported by the device
+        model.
         """
         if not plan.has_layers:
             raise ValueError(
@@ -157,75 +148,6 @@ class GPUSimulatedEngine:
             phase_breakdown=timer.breakdown() if config.record_phases else None,
             modeled=tuple(estimates),
             modeled_seconds=float(sum(est.seconds for est in estimates)),
-        )
-
-    def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
-        """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
-        program = ReinsuranceProgram.wrap(program)
-        config = self.config
-        kernel_config = self.kernel_config()
-        timer = PhaseTimer(enabled=config.record_phases)
-        wall = Timer().start()
-
-        n_trials = yet.n_trials
-        losses = np.zeros((program.n_layers, n_trials), dtype=np.float64)
-        max_occ = (
-            np.zeros((program.n_layers, n_trials), dtype=np.float64)
-            if config.record_max_occurrence
-            else None
-        )
-        estimates: List[KernelEstimate] = []
-
-        threads = config.threads_per_block
-        for layer_index, layer in enumerate(program.layers):
-            # Functional execution: process the trials one simulated CUDA
-            # block at a time.  Each block covers `threads_per_block` trials;
-            # within the block the chunked kernel stages `chunk_size` events
-            # per thread per iteration, i.e. threads * chunk_size flattened
-            # events per chunked gather.
-            for block_start in range(0, n_trials, threads):
-                block_stop = min(block_start + threads, n_trials)
-                lo = int(yet.trial_offsets[block_start])
-                hi = int(yet.trial_offsets[block_stop])
-                event_ids = yet.event_ids[lo:hi]
-                offsets = yet.trial_offsets[block_start : block_stop + 1] - lo
-                year_losses, trial_max = _launch_block(
-                    layer, event_ids, offsets, config, timer
-                )
-                losses[layer_index, block_start:block_stop] = year_losses
-                if max_occ is not None and trial_max is not None:
-                    max_occ[layer_index, block_start:block_stop] = trial_max
-
-            layer_shape = WorkloadShape(
-                n_trials=n_trials,
-                events_per_trial=max(yet.mean_events_per_trial, 1e-9),
-                n_elts=layer.n_elts,
-                n_layers=1,
-            )
-            estimates.append(self.device.estimate(layer_shape, kernel_config))
-
-        wall_seconds = wall.stop()
-        shape = WorkloadShape(
-            n_trials=n_trials,
-            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
-            n_elts=max(int(round(program.mean_elts_per_layer)), 1),
-            n_layers=program.n_layers,
-        )
-        return EngineResult(
-            ylt=YearLossTable(losses, program.layer_names, max_occ),
-            backend=self.name,
-            wall_seconds=wall_seconds,
-            workload_shape=shape,
-            phase_breakdown=timer.breakdown() if config.record_phases else None,
-            modeled=tuple(estimates),
-            modeled_seconds=float(sum(est.seconds for est in estimates)),
-            details={
-                "threads_per_block": config.threads_per_block,
-                "chunk_size": config.gpu_chunk_size,
-                "optimised": config.gpu_optimised,
-                "device": self.device.spec.name,
-                "fused_layers": False,
-            },
         )
 
     # ------------------------------------------------------------------ #

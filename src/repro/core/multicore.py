@@ -22,36 +22,39 @@ pool's queue.
 
 :meth:`MulticoreEngine.run_plan` schedules the unified
 :class:`~repro.core.plan.ExecutionPlan` IR by mapping its trial tiles over
-the worker pool; :meth:`MulticoreEngine.run` is the legacy per-backend
-dispatch, kept one release behind the plan-vs-legacy conformance suite.
+the worker pool; it is the backend's *only* entry point — the pre-plan
+per-backend ``run`` dispatch was removed once the plan-vs-legacy
+conformance window closed.
+
+For serving workloads the backend can additionally *retain* the published
+workspace across runs (``retain_workspaces``): re-executing the same plan
+object — which is exactly what the
+:class:`~repro.service.service.RiskService` plan cache produces — reuses
+the shared segments instead of copying the stack and YET columns back into
+``/dev/shm`` per request.  A retained workspace is closed when its plan is
+garbage collected, when retention is switched off, or via
+:meth:`MulticoreEngine.release_workspaces`; the module-level ``atexit``
+guard in :mod:`repro.parallel.shared_memory` backstops process exit.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.config import EngineConfig
-from repro.core.kernels import (
-    build_layer_loss_stack,
-    layer_trial_losses,
-    layer_trial_losses_batch,
-)
+from repro.core.kernels import layer_trial_losses, layer_trial_losses_batch
 from repro.core.plan import ExecutionPlan, finalize_plan_result
 from repro.core.results import EngineResult
 from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.elt.combined import LayerLossMatrix
-from repro.parallel.device import WorkloadShape
 from repro.parallel.executor import ParallelConfig, TrialBlockExecutor
 from repro.parallel.partitioner import TrialRange
 from repro.parallel.shared_memory import SharedArrayDescriptor, SharedWorkspace
-from repro.portfolio.layer import Layer
-from repro.portfolio.program import ReinsuranceProgram
 from repro.utils.timing import Timer
-from repro.yet.table import YearEventTable
-from repro.ylt.table import YearLossTable
 
 __all__ = ["MulticoreEngine", "MulticoreContext"]
 
@@ -193,6 +196,11 @@ class MulticoreEngine:
 
     def __init__(self, config: EngineConfig | None = None) -> None:
         self.config = config if config is not None else EngineConfig(backend="multicore")
+        #: Keep published workspaces alive across runs (warm-engine serving).
+        self.retain_workspaces = False
+        self._retained: "weakref.WeakKeyDictionary[ExecutionPlan, SharedWorkspace]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def _parallel_config(self) -> ParallelConfig:
         config = self.config
@@ -220,6 +228,38 @@ class MulticoreEngine:
         return config.start_method != "fork"
 
     # ------------------------------------------------------------------ #
+    # Workspace retention (warm-engine serving)
+    # ------------------------------------------------------------------ #
+    def _acquire_workspace(self, plan: ExecutionPlan, stack: np.ndarray) -> tuple[SharedWorkspace, bool, bool]:
+        """(workspace, this run owns its teardown, it was reused).
+
+        Without retention the caller publishes and closes per run.  With
+        retention the workspace is stored against the plan object: a second
+        execution of the same plan attaches to the already-published
+        segments, and a ``weakref.finalize`` on the plan guarantees the
+        segments are unlinked no later than the plan's own death.
+        """
+        if self.retain_workspaces:
+            workspace = self._retained.get(plan)
+            if workspace is not None:
+                return workspace, False, True
+        workspace = SharedWorkspace()
+        workspace.add("stack", stack)
+        workspace.add("event_ids", plan.yet.event_ids)
+        workspace.add("trial_offsets", plan.yet.trial_offsets)
+        if self.retain_workspaces:
+            self._retained[plan] = workspace
+            weakref.finalize(plan, workspace.close)
+            return workspace, False, False
+        return workspace, True, False
+
+    def release_workspaces(self) -> None:
+        """Close every workspace retained across runs (idempotent)."""
+        for workspace in list(self._retained.values()):
+            workspace.close()
+        self._retained.clear()
+
+    # ------------------------------------------------------------------ #
     # Plan scheduler
     # ------------------------------------------------------------------ #
     def run_plan(self, plan: ExecutionPlan) -> EngineResult:
@@ -232,16 +272,19 @@ class MulticoreEngine:
         parallel_config = self._parallel_config()
 
         workspace: SharedWorkspace | None = None
+        owns_workspace = False
+        workspace_reused = False
         try:
             if fused:
                 stack = plan.stack()
                 if use_shm:
                     # Publish the big read-only arrays once; workers attach
                     # zero-copy views instead of unpickling them per worker.
-                    workspace = SharedWorkspace()
-                    workspace.add("stack", stack)
-                    workspace.add("event_ids", plan.yet.event_ids)
-                    workspace.add("trial_offsets", plan.yet.trial_offsets)
+                    # Under retention a re-executed plan reuses the segments
+                    # published by its first run.
+                    workspace, owns_workspace, workspace_reused = self._acquire_workspace(
+                        plan, stack
+                    )
                     executor = TrialBlockExecutor(
                         parallel_config,
                         context_factory=_SharedPlanContext(
@@ -283,8 +326,9 @@ class MulticoreEngine:
         finally:
             # A worker dying mid-block must not leak the shared segments:
             # the owner unlinks them on every exit path (an atexit guard in
-            # shared_memory.py backstops even this).
-            if workspace is not None:
+            # shared_memory.py backstops even this).  Retained workspaces
+            # are closed by release_workspaces() or the plan's finalizer.
+            if workspace is not None and owns_workspace:
                 workspace.close()
 
         losses, max_occ = _assemble_blocks(
@@ -297,87 +341,10 @@ class MulticoreEngine:
             "n_blocks": schedule.n_blocks,
             "fused_layers": fused,
             "shared_memory": use_shm,
+            "workspace_reused": workspace_reused,
         }
         return finalize_plan_result(
             plan, self.name, losses, max_occ, wall.stop(), details
-        )
-
-    # ------------------------------------------------------------------ #
-    # Legacy dispatch (one release behind the plan path)
-    # ------------------------------------------------------------------ #
-    def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
-        """Run the aggregate analysis for every layer of ``program`` over ``yet``.
-
-        .. deprecated::
-            This is the pre-plan dispatch, retained for the plan-vs-legacy
-            conformance suite (``EngineConfig(execution="legacy")``); it will
-            be removed once the deprecation window closes.  It always uses
-            the pickling/inheritance transport.
-        """
-        program = ReinsuranceProgram.wrap(program)
-        config = self.config
-        wall = Timer().start()
-
-        # Preprocessing: build the dense matrices (and, fused, the stacked
-        # term-netted loss matrix) once in the parent so that forked workers
-        # inherit them without copying.  The fused stack is also what a
-        # ``spawn`` pool pickles: at n_layers x catalog_size doubles it is the
-        # smaller and already term-netted representation, so workers skip the
-        # per-gather financial-term arithmetic entirely.  (The plan scheduler
-        # removes even that pickling cost by publishing the stack through
-        # shared memory — see :meth:`run_plan`.)
-        matrices = [layer.loss_matrix() for layer in program.layers]
-        terms = [layer.terms for layer in program.layers]
-        if config.fused_layers:
-            context = MulticoreContext(
-                event_ids=yet.event_ids,
-                trial_offsets=yet.trial_offsets,
-                matrices=None,
-                terms=(),
-                use_shortcut=config.use_aggregate_shortcut,
-                record_max_occurrence=config.record_max_occurrence,
-                stack=build_layer_loss_stack(matrices),
-                terms_vectors=LayerTermsVectors.from_terms(terms),
-            )
-        else:
-            context = MulticoreContext(
-                event_ids=yet.event_ids,
-                trial_offsets=yet.trial_offsets,
-                matrices=matrices,
-                terms=terms,
-                use_shortcut=config.use_aggregate_shortcut,
-                record_max_occurrence=config.record_max_occurrence,
-            )
-
-        executor = TrialBlockExecutor(self._parallel_config(), context=context)
-        schedule = executor.schedule_for(yet.n_trials)
-        block_results: List[tuple[int, np.ndarray, np.ndarray | None]] = executor.run(
-            _analyse_block, work_items=list(schedule.blocks)
-        )
-
-        n_trials = yet.n_trials
-        losses, max_occ = _assemble_blocks(
-            block_results, program.n_layers, n_trials, config.record_max_occurrence
-        )
-        wall_seconds = wall.stop()
-        shape = WorkloadShape(
-            n_trials=n_trials,
-            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
-            n_elts=max(int(round(program.mean_elts_per_layer)), 1),
-            n_layers=program.n_layers,
-        )
-        return EngineResult(
-            ylt=YearLossTable(losses, program.layer_names, max_occ),
-            backend=self.name,
-            wall_seconds=wall_seconds,
-            workload_shape=shape,
-            details={
-                "n_workers": config.n_workers,
-                "scheduling": str(config.scheduling),
-                "oversubscription": config.oversubscription,
-                "n_blocks": schedule.n_blocks,
-                "fused_layers": config.fused_layers,
-            },
         )
 
 

@@ -66,17 +66,19 @@ class SequentialEngine:
         """Execute an :class:`~repro.core.plan.ExecutionPlan` row by row.
 
         The sequential backend schedules a plan by iterating its source
-        layers through the reference per-(layer, trial) loop — the same code
-        path as :meth:`run`, so plan-lowered execution is bit-identical to
-        the legacy dispatch by construction.  Synthetic plans (precomputed
-        stack rows without source layers) have no pure-Python form here.
+        layers through the reference per-(layer, trial) loop — a line-for-
+        line transcription of the paper's basic algorithm.  Synthetic plans
+        (precomputed stack rows without source layers) have no pure-Python
+        form here.
         """
         if not plan.has_layers:
             raise ValueError(
                 "backend 'sequential' has no stacked execution path; "
                 "use one of the fused backends (vectorized, chunked, multicore)"
             )
-        result = self.run(ReinsuranceProgram(plan.layers, name=plan.source), plan.yet)
+        result = self._run_program(
+            ReinsuranceProgram(plan.layers, name=plan.source), plan.yet
+        )
         return result.with_extra_details(
             plan={
                 "source": plan.source,
@@ -87,10 +89,10 @@ class SequentialEngine:
         )
 
     # ------------------------------------------------------------------ #
-    # Execution (legacy dispatch, also the plan scheduler's work loop)
+    # The plan scheduler's work loop (the paper's basic algorithm)
     # ------------------------------------------------------------------ #
-    def run(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
-        """Run the aggregate analysis for every layer of ``program`` over ``yet``."""
+    def _run_program(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
+        """Run the reference analysis for every layer of ``program`` over ``yet``."""
         program = ReinsuranceProgram.wrap(program)
         config = self.config
         timer = PhaseTimer(enabled=config.record_phases)

@@ -33,7 +33,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, TYPE_CHECKING
+from typing import Callable, Iterator, List, Sequence, TYPE_CHECKING
 
 from repro.core.config import EngineConfig
 from repro.portfolio.layer import Layer
@@ -116,6 +116,18 @@ class PortfolioSweepService:
     volatility_loading, expense_ratio:
         Pricing parameters forwarded to
         :func:`~repro.portfolio.pricing.price_program` for every quote.
+    plan_factory:
+        How a block lowers to an :class:`~repro.core.plan.ExecutionPlan`:
+        a callable ``(programs, yet, dedupe, source) -> ExecutionPlan``.
+        Defaults to :meth:`~repro.core.plan.PlanBuilder.from_programs`; the
+        :class:`~repro.service.service.RiskService` injects its
+        content-addressed plan cache here so repeated sweeps of the same
+        block reuse the lowered plan and fused stack.
+    price_quotes:
+        Build a technical-premium quote per program (the default).  With
+        ``False`` every block's ``quotes`` is empty — for callers that only
+        want the engine results, the pricing arithmetic is skipped rather
+        than discarded.
     """
 
     def __init__(
@@ -124,12 +136,16 @@ class PortfolioSweepService:
         config: EngineConfig | None = None,
         volatility_loading: float = 0.3,
         expense_ratio: float = 0.15,
+        plan_factory: "Callable[..., object] | None" = None,
+        price_quotes: bool = True,
     ) -> None:
         from repro.core.engine import AggregateRiskEngine
 
         self.engine = engine if engine is not None else AggregateRiskEngine(config)
         self.volatility_loading = float(volatility_loading)
         self.expense_ratio = float(expense_ratio)
+        self.plan_factory = plan_factory
+        self.price_quotes = bool(price_quotes)
 
     # ------------------------------------------------------------------ #
     # Streaming execution
@@ -164,19 +180,29 @@ class PortfolioSweepService:
                 f"max_rows_per_block must be non-negative, got {max_rows_per_block}"
             )
 
+        build_plan = self.plan_factory
+        if build_plan is None:
+            build_plan = lambda group, group_yet, group_dedupe, source: (  # noqa: E731
+                PlanBuilder.from_programs(
+                    group, group_yet, dedupe=group_dedupe, source=source
+                )
+            )
+
         for index, group in enumerate(_pack_blocks(normalised, max_rows_per_block)):
-            plan = PlanBuilder.from_programs(group, yet, dedupe=dedupe, source="sweep")
+            plan = build_plan(group, yet, dedupe, "sweep")
             combined = self.engine.run_plan(plan)
             results = tuple(plan.split_result(combined))
-            quotes = tuple(
-                price_program(
-                    program,
-                    result.ylt,
-                    volatility_loading=self.volatility_loading,
-                    expense_ratio=self.expense_ratio,
+            quotes: tuple[ProgramQuote, ...] = ()
+            if self.price_quotes:
+                quotes = tuple(
+                    price_program(
+                        program,
+                        result.ylt,
+                        volatility_loading=self.volatility_loading,
+                        expense_ratio=self.expense_ratio,
+                    )
+                    for program, result in zip(group, results)
                 )
-                for program, result in zip(group, results)
-            )
             yield SweepBlock(
                 index=index,
                 programs=tuple(group),

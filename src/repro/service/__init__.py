@@ -1,0 +1,49 @@
+"""Request/response serving layer over the aggregate risk engine.
+
+The subsystem behind the library's serving story: declarative, validated
+:class:`~repro.service.request.AnalysisRequest` documents (dict/JSON
+round-trippable) are dispatched by a long-lived
+:class:`~repro.service.service.RiskService` that owns a warm
+:class:`~repro.core.engine.AggregateRiskEngine`, a content-addressed
+:class:`~repro.service.cache.PlanCache` of lowered execution plans and
+fused loss stacks (:mod:`repro.service.digests` provides the content
+digests), and retained multicore shared-memory workspaces; every answer is
+a uniform :class:`~repro.service.response.AnalysisResponse` carrying the
+engine results, quotes and bands plus cache and timing metadata.
+
+CLI entry points: ``are request`` (one JSON request round trip) and
+``are serve`` (a warm NDJSON request loop).
+"""
+
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.digests import (
+    PLAN_RELEVANT_CONFIG_FIELDS,
+    config_digest,
+    program_digest,
+    stack_digest,
+    yet_digest,
+)
+from repro.service.request import (
+    REQUEST_KINDS,
+    AnalysisRequest,
+    RequestValidationError,
+)
+from repro.service.response import AnalysisResponse, CacheInfo
+from repro.service.service import RiskService, candidate_variants
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisResponse",
+    "CacheInfo",
+    "CacheStats",
+    "PlanCache",
+    "PLAN_RELEVANT_CONFIG_FIELDS",
+    "REQUEST_KINDS",
+    "RequestValidationError",
+    "RiskService",
+    "candidate_variants",
+    "config_digest",
+    "program_digest",
+    "stack_digest",
+    "yet_digest",
+]

@@ -1,0 +1,201 @@
+"""Content digests for the plan cache.
+
+The :class:`~repro.service.cache.PlanCache` is *content-addressed*: a cache
+key is built from SHA-256 digests of everything that determines what an
+:class:`~repro.core.plan.ExecutionPlan` (and its fused loss stack) *is* —
+
+* the program's terms and ELT contents (:func:`program_digest`),
+* the Year Event Table (:func:`yet_digest`),
+* a synthetic stack's rows and terms (:func:`stack_digest`,
+  :func:`terms_digest`), and
+* the plan-relevant :class:`~repro.core.config.EngineConfig` fields
+  (:func:`config_digest`, see :data:`PLAN_RELEVANT_CONFIG_FIELDS`).
+
+Two requests that describe the same computation therefore hash to the same
+key even when they were built from *different* Python objects (e.g. the
+expected program a banded quote reconstructs per request), and any change to
+a term, an ELT record, the YET or a relevant config field changes the key —
+the cache can never serve a stale plan.
+
+Digesting a large array is not free, so the per-object digests of the two
+heavyweight immutable inputs — Event Loss Tables and Year Event Tables — are
+memoized by object identity in a :class:`weakref.WeakKeyDictionary`: the
+bytes are hashed once per object lifetime, and repeated requests against the
+same tables pay only a dictionary lookup.  The memo relies on the library's
+convention that ELTs and YETs are immutable after construction (mutating one
+in place would require clearing the memo via :func:`clear_digest_memo`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import EngineConfig
+from repro.financial.terms import FinancialTerms, LayerTerms
+from repro.portfolio.layer import Layer
+from repro.portfolio.program import ReinsuranceProgram
+from repro.yet.table import YearEventTable
+
+__all__ = [
+    "PLAN_RELEVANT_CONFIG_FIELDS",
+    "array_digest",
+    "clear_digest_memo",
+    "config_digest",
+    "elt_digest",
+    "layer_digest",
+    "program_digest",
+    "stack_digest",
+    "terms_digest",
+    "yet_digest",
+]
+
+#: EngineConfig fields that participate in the plan-cache key: everything
+#: that changes the lowered plan, the kernel path taken over it, or the
+#: recorded outputs.  Cosmetic fields (``record_phases``) and fields of other
+#: backends are deliberately excluded so that toggling them does not evict
+#: warm plans.
+PLAN_RELEVANT_CONFIG_FIELDS: tuple[str, ...] = (
+    "backend",
+    "fused_layers",
+    "use_aggregate_shortcut",
+    "record_max_occurrence",
+    "elt_representation",
+    "chunk_events",
+    "n_workers",
+    "scheduling",
+    "oversubscription",
+    "start_method",
+    "shared_memory",
+    "threads_per_block",
+    "gpu_chunk_size",
+    "gpu_optimised",
+)
+
+# Identity-memoized digests of immutable heavyweight inputs (ELTs, YETs,
+# stacks).  WeakKeyDictionary: the memo must never keep an object alive.
+_MEMO: "weakref.WeakKeyDictionary[object, str]" = weakref.WeakKeyDictionary()
+
+
+def clear_digest_memo() -> None:
+    """Drop every memoized per-object digest (after in-place mutation)."""
+    _MEMO.clear()
+
+
+def _hexdigest(parts: Iterable[bytes]) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part)
+    return digest.hexdigest()
+
+
+def array_digest(array: np.ndarray) -> str:
+    """SHA-256 of an array's dtype, shape and raw bytes."""
+    array = np.ascontiguousarray(array)
+    return _hexdigest(
+        (
+            array.dtype.str.encode(),
+            repr(array.shape).encode(),
+            array.tobytes(),
+        )
+    )
+
+
+def _financial_terms_bytes(terms: FinancialTerms) -> bytes:
+    return repr((terms.retention, terms.limit, terms.share, terms.fx_rate)).encode()
+
+
+def _layer_terms_bytes(terms: LayerTerms) -> bytes:
+    return repr(
+        (
+            terms.occurrence_retention,
+            terms.occurrence_limit,
+            terms.aggregate_retention,
+            terms.aggregate_limit,
+        )
+    ).encode()
+
+
+def elt_digest(elt) -> str:
+    """Content digest of one Event Loss Table (memoized per object)."""
+    cached = _MEMO.get(elt)
+    if cached is not None:
+        return cached
+    digest = _hexdigest(
+        (
+            b"elt",
+            repr(int(elt.catalog_size)).encode(),
+            np.ascontiguousarray(elt.event_ids).tobytes(),
+            np.ascontiguousarray(elt.losses).tobytes(),
+            _financial_terms_bytes(elt.terms),
+        )
+    )
+    _MEMO[elt] = digest
+    return digest
+
+
+def layer_digest(layer: Layer) -> str:
+    """Content digest of one layer: its ELT contents, terms and name."""
+    return _hexdigest(
+        (
+            b"layer",
+            layer.name.encode(),
+            _layer_terms_bytes(layer.terms),
+            *(elt_digest(elt).encode() for elt in layer.elts),
+        )
+    )
+
+
+def program_digest(program: ReinsuranceProgram | Layer) -> str:
+    """Content digest of a whole program (layer digests + program name)."""
+    program = ReinsuranceProgram.wrap(program)
+    return _hexdigest(
+        (
+            b"program",
+            program.name.encode(),
+            *(layer_digest(layer).encode() for layer in program.layers),
+        )
+    )
+
+
+def yet_digest(yet: YearEventTable) -> str:
+    """Content digest of a Year Event Table (memoized per object)."""
+    cached = _MEMO.get(yet)
+    if cached is not None:
+        return cached
+    digest = _hexdigest(
+        (
+            b"yet",
+            repr(int(yet.n_trials)).encode(),
+            np.ascontiguousarray(yet.event_ids).tobytes(),
+            np.ascontiguousarray(yet.trial_offsets).tobytes(),
+        )
+    )
+    _MEMO[yet] = digest
+    return digest
+
+
+def stack_digest(stack: np.ndarray) -> str:
+    """Content digest of a precomputed loss stack.
+
+    Not memoized: ndarrays are unhashable (so they cannot key the weak memo)
+    and hashing even a wide stack is milliseconds — negligible next to the
+    kernel pass it guards.
+    """
+    return array_digest(stack)
+
+
+def terms_digest(terms: Sequence[LayerTerms]) -> str:
+    """Content digest of a sequence of layer terms (``run_stacked`` rows)."""
+    return _hexdigest((b"terms", *(_layer_terms_bytes(t) for t in terms)))
+
+
+def config_digest(config: EngineConfig) -> str:
+    """Digest of the plan-relevant engine-config fields."""
+    parts = [b"config"]
+    for name in PLAN_RELEVANT_CONFIG_FIELDS:
+        parts.append(f"{name}={getattr(config, name)!s}".encode())
+    return _hexdigest(parts)

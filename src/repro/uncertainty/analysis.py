@@ -184,10 +184,16 @@ class SecondaryUncertaintyAnalysis:
         Engine configuration for each replication (vectorized by default).
         ``config.replication_block`` sets the default streaming block size of
         :meth:`run_batched`.
+    engine:
+        An existing engine to price replications on instead of constructing
+        one from ``config`` — the :class:`~repro.service.service.RiskService`
+        passes its *warm* engine here so banded quotes share the service's
+        retained workspaces.  When given, its config wins over ``config``.
     """
 
     def __init__(self, layers: Sequence[UncertainLayer],
-                 config: EngineConfig | None = None) -> None:
+                 config: EngineConfig | None = None,
+                 engine: "AggregateRiskEngine | None" = None) -> None:
         if not layers:
             raise ValueError("at least one uncertain layer is required")
         self.layers = tuple(layers)
@@ -196,9 +202,20 @@ class SecondaryUncertaintyAnalysis:
             raise ValueError(
                 f"all uncertain layers must share one catalog size, got {sorted(catalog_sizes)}"
             )
-        self.config = config if config is not None else EngineConfig(
-            backend="vectorized", record_max_occurrence=False
-        )
+        if engine is not None:
+            self.config = engine.config
+        else:
+            self.config = config if config is not None else EngineConfig(
+                backend="vectorized", record_max_occurrence=False
+            )
+        self._engine = engine
+
+    @property
+    def engine(self) -> AggregateRiskEngine:
+        """The engine every replication is priced on (built lazily once)."""
+        if self._engine is None:
+            self._engine = AggregateRiskEngine(self.config)
+        return self._engine
 
     @property
     def n_layers(self) -> int:
@@ -283,7 +300,7 @@ class SecondaryUncertaintyAnalysis:
         metric_values: Dict[str, list] = {
             name: [] for name in self._metric_names(return_periods, tvar_levels)
         }
-        engine = AggregateRiskEngine(self.config)
+        engine = self.engine
 
         if method == "replay":
             for replication_rng in rngs:
@@ -353,7 +370,7 @@ class SecondaryUncertaintyAnalysis:
         if n_replications <= 0:
             raise ValueError(f"n_replications must be positive, got {n_replications}")
         generator = derive_rng(rng)
-        engine = AggregateRiskEngine(self.config)
+        engine = self.engine
         metric_values: Dict[str, list] = {
             name: [] for name in self._metric_names(return_periods, tvar_levels)
         }
@@ -377,7 +394,7 @@ class SecondaryUncertaintyAnalysis:
         return_periods: Sequence[float] = (100.0, 250.0),
     ) -> Mapping[str, float]:
         """Metrics of the expected-loss (deterministic) analysis, for comparison."""
-        engine = AggregateRiskEngine(self.config)
+        engine = self.engine
         result = engine.run(self.expected_program(), yet)
         portfolio_losses = result.ylt.portfolio_losses()
         metrics: Dict[str, float] = {"aal": aal(portfolio_losses)}
@@ -405,7 +422,7 @@ class SecondaryUncertaintyAnalysis:
         the portfolio metrics (e.g. ``quote.band("aal").relative_spread()``).
         """
         program = self.expected_program()
-        engine = AggregateRiskEngine(self.config)
+        engine = self.engine
         result = engine.run(program, yet)
         uncertainty = self.run_batched(
             yet,

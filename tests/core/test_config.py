@@ -39,6 +39,20 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             EngineConfig(**kwargs)
 
+    def test_all_platform_start_methods_accepted(self):
+        import multiprocessing
+
+        for method in multiprocessing.get_all_start_methods():
+            EngineConfig(start_method=method)
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ValueError, match="start_method"):
+            EngineConfig(start_method="teleport")
+
+    def test_legacy_execution_rejected_with_migration_hint(self):
+        with pytest.raises(ValueError, match="has been removed"):
+            EngineConfig(execution="legacy")
+
     def test_with_backend(self):
         config = EngineConfig(backend="vectorized", n_workers=4)
         updated = config.with_backend("multicore")

@@ -6,12 +6,18 @@ import pytest
 from repro.core.config import EngineConfig
 from repro.core.gpu_sim import GPUSimulatedEngine
 from repro.parallel.device import WorkloadShape
+from repro.core.plan import PlanBuilder
+
+
+def _run(engine, program, yet):
+    """Drive a backend through its plan scheduler (the only entry point)."""
+    return engine.run_plan(PlanBuilder.from_program(program, yet))
 
 
 class TestGPUSimulatedEngine:
     def test_matches_sequential_reference(self, tiny_workload, tiny_reference_result):
         engine = GPUSimulatedEngine(EngineConfig(backend="gpu", threads_per_block=16))
-        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        result = _run(engine, tiny_workload.program, tiny_workload.yet)
         np.testing.assert_allclose(
             result.ylt.losses, tiny_reference_result.ylt.losses, rtol=1e-9, atol=1e-6
         )
@@ -19,7 +25,7 @@ class TestGPUSimulatedEngine:
     def test_basic_kernel_matches_reference(self, tiny_workload, tiny_reference_result):
         engine = GPUSimulatedEngine(EngineConfig(backend="gpu", gpu_optimised=False,
                                                  threads_per_block=16))
-        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        result = _run(engine, tiny_workload.program, tiny_workload.yet)
         np.testing.assert_allclose(
             result.ylt.losses, tiny_reference_result.ylt.losses, rtol=1e-9, atol=1e-6
         )
@@ -28,7 +34,7 @@ class TestGPUSimulatedEngine:
         results = []
         for threads in (8, 16, 64):
             engine = GPUSimulatedEngine(EngineConfig(backend="gpu", threads_per_block=threads))
-            results.append(engine.run(tiny_workload.program, tiny_workload.yet).ylt.losses)
+            results.append(_run(engine, tiny_workload.program, tiny_workload.yet).ylt.losses)
         np.testing.assert_allclose(results[0], results[1], rtol=1e-12)
         np.testing.assert_allclose(results[0], results[2], rtol=1e-12)
 
@@ -37,13 +43,13 @@ class TestGPUSimulatedEngine:
         for chunk in (1, 4, 12):
             engine = GPUSimulatedEngine(EngineConfig(backend="gpu", gpu_chunk_size=chunk,
                                                      threads_per_block=16))
-            results.append(engine.run(tiny_workload.program, tiny_workload.yet).ylt.losses)
+            results.append(_run(engine, tiny_workload.program, tiny_workload.yet).ylt.losses)
         np.testing.assert_allclose(results[0], results[1], rtol=1e-12)
         np.testing.assert_allclose(results[0], results[2], rtol=1e-12)
 
     def test_modeled_estimates_attached(self, tiny_workload):
         engine = GPUSimulatedEngine(EngineConfig(backend="gpu", threads_per_block=16))
-        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        result = _run(engine, tiny_workload.program, tiny_workload.yet)
         assert len(result.modeled) == tiny_workload.program.n_layers
         assert result.modeled_seconds == pytest.approx(
             sum(est.seconds for est in result.modeled)
@@ -53,7 +59,7 @@ class TestGPUSimulatedEngine:
     def test_details_describe_launch(self, tiny_workload):
         engine = GPUSimulatedEngine(EngineConfig(backend="gpu", threads_per_block=32,
                                                  gpu_chunk_size=8, gpu_optimised=True))
-        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        result = _run(engine, tiny_workload.program, tiny_workload.yet)
         assert result.details["threads_per_block"] == 32
         assert result.details["chunk_size"] == 8
         assert result.details["optimised"] is True

@@ -219,11 +219,9 @@ class TestPlanDetails:
         assert result.details["plan"]["source"] == "program"
         assert result.details["plan"]["n_rows"] == tiny_workload.program.n_layers
 
-    def test_legacy_execution_bypasses_plan(self, tiny_workload):
-        result = AggregateRiskEngine(EngineConfig(execution="legacy")).run(
-            tiny_workload.program, tiny_workload.yet
-        )
-        assert "plan" not in result.details
+    def test_legacy_execution_mode_removed(self):
+        with pytest.raises(ValueError, match="execution='legacy' has been removed"):
+            EngineConfig(execution="legacy")
 
     def test_unknown_execution_mode_rejected(self):
         with pytest.raises(ValueError, match="execution"):

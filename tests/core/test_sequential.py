@@ -16,6 +16,12 @@ from repro.portfolio.program import ReinsuranceProgram
 from repro.yet.table import YearEventTable
 
 from tests.conftest import make_manual_layer
+from repro.core.plan import PlanBuilder
+
+
+def _run(engine, program, yet):
+    """Drive a backend through its plan scheduler (the only entry point)."""
+    return engine.run_plan(PlanBuilder.from_program(program, yet))
 
 
 class TestBuildLookup:
@@ -34,7 +40,7 @@ class TestBuildLookup:
 class TestHandComputedResults:
     def test_passthrough_terms_sum_ground_up(self, manual_layer_and_yet):
         layer, yet = manual_layer_and_yet
-        result = SequentialEngine(EngineConfig(backend="sequential")).run(layer, yet)
+        result = _run(SequentialEngine(EngineConfig(backend="sequential")), layer, yet)
         # Trial 0: events 1, 2 -> (100) + (200 + 50) = 350
         # Trial 1: event 4 -> 500
         # Trial 2: events 3, 2, 1 -> 300 + 250 + 100 = 650
@@ -43,7 +49,7 @@ class TestHandComputedResults:
     def test_occurrence_terms_hand_example(self):
         layer, yet = make_manual_layer()
         layer = layer.with_terms(LayerTerms(occurrence_retention=100.0, occurrence_limit=200.0))
-        result = SequentialEngine().run(layer, yet)
+        result = _run(SequentialEngine(), layer, yet)
         # Trial 0: occurrences 100, 250 -> net 0, 150 -> 150
         # Trial 1: occurrence 500 -> net 200
         # Trial 2: occurrences 300, 250, 100 -> net 200, 150, 0 -> 350
@@ -52,7 +58,7 @@ class TestHandComputedResults:
     def test_aggregate_terms_hand_example(self):
         layer, yet = make_manual_layer()
         layer = layer.with_terms(LayerTerms(aggregate_retention=100.0, aggregate_limit=400.0))
-        result = SequentialEngine().run(layer, yet)
+        result = _run(SequentialEngine(), layer, yet)
         # Ground-up trial totals: 350, 500, 650 -> net of AggR=100/AggL=400:
         # 250, 400, 400
         np.testing.assert_allclose(result.ylt.losses[0], [250.0, 400.0, 400.0])
@@ -64,20 +70,22 @@ class TestHandComputedResults:
                                terms=FinancialTerms(limit=50.0))
         layer = Layer([elt_a, elt_b], LayerTerms())
         yet = YearEventTable.from_trials([[1]], catalog_size=10)
-        result = SequentialEngine().run(layer, yet)
+        result = _run(SequentialEngine(), layer, yet)
         # ELT A: (100 - 20) * 0.5 = 40; ELT B: min(60, 50) = 50 -> 90.
         np.testing.assert_allclose(result.ylt.losses[0], [90.0])
 
     def test_max_occurrence_recorded(self, manual_layer_and_yet):
         layer, yet = manual_layer_and_yet
-        result = SequentialEngine(EngineConfig(backend="sequential",
-                                               record_max_occurrence=True)).run(layer, yet)
+        engine = SequentialEngine(
+            EngineConfig(backend="sequential", record_max_occurrence=True)
+        )
+        result = _run(engine, layer, yet)
         np.testing.assert_allclose(result.ylt.max_occurrence_losses[0], [250.0, 500.0, 300.0])
 
     def test_empty_trial_zero_loss(self):
         layer, _ = make_manual_layer()
         yet = YearEventTable.from_trials([[], [1]], catalog_size=100)
-        result = SequentialEngine().run(layer, yet)
+        result = _run(SequentialEngine(), layer, yet)
         assert result.ylt.losses[0, 0] == 0.0
         assert result.ylt.losses[0, 1] == pytest.approx(100.0)
 
@@ -85,7 +93,7 @@ class TestHandComputedResults:
 class TestEngineBehaviour:
     def test_accepts_program_and_layer(self, manual_program):
         program, yet = manual_program
-        result = SequentialEngine().run(program, yet)
+        result = _run(SequentialEngine(), program, yet)
         assert result.ylt.n_layers == 1
         assert result.ylt.layer_names == ("manual-layer",)
 
@@ -95,7 +103,7 @@ class TestEngineBehaviour:
             engine = SequentialEngine(
                 EngineConfig(backend="sequential", elt_representation=representation)
             )
-            results[representation] = engine.run(tiny_workload.program, tiny_workload.yet)
+            results[representation] = _run(engine, tiny_workload.program, tiny_workload.yet)
         np.testing.assert_allclose(
             results["direct"].ylt.losses, results["sorted"].ylt.losses, rtol=1e-12
         )
@@ -106,18 +114,18 @@ class TestEngineBehaviour:
     def test_phase_breakdown_recorded(self, manual_program):
         program, yet = manual_program
         engine = SequentialEngine(EngineConfig(backend="sequential", record_phases=True))
-        result = engine.run(program, yet)
+        result = _run(engine, program, yet)
         assert result.phase_breakdown is not None
         assert set(result.phase_breakdown.seconds) == set(ALL_PHASES)
 
     def test_phase_breakdown_absent_by_default(self, manual_program):
         program, yet = manual_program
-        result = SequentialEngine().run(program, yet)
+        result = _run(SequentialEngine(), program, yet)
         assert result.phase_breakdown is None
 
     def test_result_metadata(self, manual_program):
         program, yet = manual_program
-        result = SequentialEngine().run(program, yet)
+        result = _run(SequentialEngine(), program, yet)
         assert result.backend == "sequential"
         assert result.n_trials == 3
         assert result.wall_seconds > 0

@@ -7,17 +7,23 @@ from repro.core.chunked import ChunkedEngine
 from repro.core.config import EngineConfig
 from repro.core.phases import ALL_PHASES
 from repro.core.vectorized import VectorizedEngine
+from repro.core.plan import PlanBuilder
+
+
+def _run(engine, program, yet):
+    """Drive a backend through its plan scheduler (the only entry point)."""
+    return engine.run_plan(PlanBuilder.from_program(program, yet))
 
 
 class TestVectorizedEngine:
     def test_matches_sequential_reference(self, tiny_workload, tiny_reference_result):
-        result = VectorizedEngine().run(tiny_workload.program, tiny_workload.yet)
+        result = _run(VectorizedEngine(), tiny_workload.program, tiny_workload.yet)
         np.testing.assert_allclose(
             result.ylt.losses, tiny_reference_result.ylt.losses, rtol=1e-9, atol=1e-6
         )
 
     def test_max_occurrence_matches_reference(self, tiny_workload, tiny_reference_result):
-        result = VectorizedEngine().run(tiny_workload.program, tiny_workload.yet)
+        result = _run(VectorizedEngine(), tiny_workload.program, tiny_workload.yet)
         np.testing.assert_allclose(
             result.ylt.max_occurrence_losses,
             tiny_reference_result.ylt.max_occurrence_losses,
@@ -26,17 +32,17 @@ class TestVectorizedEngine:
         )
 
     def test_layer_names_preserved(self, tiny_workload):
-        result = VectorizedEngine().run(tiny_workload.program, tiny_workload.yet)
+        result = _run(VectorizedEngine(), tiny_workload.program, tiny_workload.yet)
         assert result.ylt.layer_names == tiny_workload.program.layer_names
 
     def test_single_layer_accepted(self, tiny_workload):
         layer = tiny_workload.program[0]
-        result = VectorizedEngine().run(layer, tiny_workload.yet)
+        result = _run(VectorizedEngine(), layer, tiny_workload.yet)
         assert result.ylt.n_layers == 1
 
     def test_phase_breakdown(self, tiny_workload):
         engine = VectorizedEngine(EngineConfig(backend="vectorized", record_phases=True))
-        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        result = _run(engine, tiny_workload.program, tiny_workload.yet)
         assert set(result.phase_breakdown.seconds) == set(ALL_PHASES)
         assert result.phase_breakdown.total > 0
 
@@ -44,14 +50,14 @@ class TestVectorizedEngine:
         engine = VectorizedEngine(
             EngineConfig(backend="vectorized", use_aggregate_shortcut=False)
         )
-        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        result = _run(engine, tiny_workload.program, tiny_workload.yet)
         np.testing.assert_allclose(
             result.ylt.losses, tiny_reference_result.ylt.losses, rtol=1e-9, atol=1e-6
         )
 
     def test_record_max_occurrence_off(self, tiny_workload):
         engine = VectorizedEngine(EngineConfig(backend="vectorized", record_max_occurrence=False))
-        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        result = _run(engine, tiny_workload.program, tiny_workload.yet)
         assert result.ylt.max_occurrence_losses is None
 
 
@@ -59,16 +65,16 @@ class TestChunkedEngine:
     @pytest.mark.parametrize("chunk_events", [16, 128, 10_000])
     def test_matches_sequential_reference(self, tiny_workload, tiny_reference_result, chunk_events):
         engine = ChunkedEngine(EngineConfig(backend="chunked", chunk_events=chunk_events))
-        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        result = _run(engine, tiny_workload.program, tiny_workload.yet)
         np.testing.assert_allclose(
             result.ylt.losses, tiny_reference_result.ylt.losses, rtol=1e-9, atol=1e-6
         )
 
     def test_details_report_chunk_size(self, tiny_workload):
         engine = ChunkedEngine(EngineConfig(backend="chunked", chunk_events=64))
-        result = engine.run(tiny_workload.program, tiny_workload.yet)
+        result = _run(engine, tiny_workload.program, tiny_workload.yet)
         assert result.details["chunk_events"] == 64
 
     def test_backend_name(self, tiny_workload):
-        result = ChunkedEngine().run(tiny_workload.program, tiny_workload.yet)
+        result = _run(ChunkedEngine(), tiny_workload.program, tiny_workload.yet)
         assert result.backend == "chunked"

@@ -1,20 +1,26 @@
-"""Golden conformance: plan-lowered execution is bit-identical to legacy.
+"""Golden conformance of the unified plan pipeline (plan vs plan).
 
-The PR that introduced the ExecutionPlan IR kept every backend's pre-plan
-dispatch one release behind this suite: on seeded end-to-end workloads, the
-plan pipeline (facade -> :class:`~repro.core.plan.PlanBuilder` -> backend
-scheduler) must reproduce the legacy per-backend ``run`` **exactly** — not
-within tolerance — for every backend, both kernel paths (fused and
-per-layer), and the multicore transports.  The same bar applies to the
-workloads whose legacy per-backend copies were deleted outright:
+The original suite pinned the plan pipeline bit-for-bit against the
+pre-plan per-backend dispatch; that legacy dispatch has now been deleted as
+scheduled, so the golden coverage is retargeted at invariants *within* the
+plan pipeline — on seeded end-to-end workloads, these must hold exactly
+(not merely within tolerance) unless noted:
 
-* ``run_many`` must equal the legacy recipe (concatenate into one combined
-  program, run, split by layer ranges) bit for bit — with and without row
-  deduplication;
-* ``run_stacked`` must equal the direct fused-kernel evaluation of the same
-  stack (the body of the deleted per-backend ``run_stacked`` methods).
-
-When these assertions hold for a release, the legacy paths can be removed.
+* the facade's ``run`` equals explicit ``PlanBuilder`` lowering + ``run_plan``
+  on every backend (the facade adds no arithmetic);
+* the fused multi-layer path and the ``fused_layers=False`` per-layer
+  ablation agree bit-for-bit on every backend (same floating-point
+  operations in the same order);
+* the two multicore transports (shared-memory vs pickling/inheritance) and
+  the warm workspace-reuse path agree bit-for-bit (a transport moves bytes,
+  it must never touch them);
+* ``run_many`` equals the concatenate-run-split recipe, with and without
+  row deduplication;
+* ``run_stacked`` equals the direct fused-kernel evaluation of the same
+  stack;
+* the telescoped-shortcut vs cumulative aggregate-terms ablation agrees at
+  1e-9 relative tolerance (different reduction order, same maths);
+* ``execution="legacy"`` is rejected with a migration hint.
 """
 
 import numpy as np
@@ -23,6 +29,7 @@ import pytest
 from repro.core.config import BACKEND_NAMES, EngineConfig
 from repro.core.engine import AggregateRiskEngine
 from repro.core.kernels import layer_trial_losses_batch
+from repro.core.plan import PlanBuilder
 from repro.financial.terms import LayerTerms
 from repro.portfolio.program import ReinsuranceProgram
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
@@ -48,74 +55,110 @@ def workload():
     return WorkloadGenerator(spec).generate()
 
 
-def _engines(backend: str, **overrides):
-    """(plan-dispatch engine, legacy-dispatch engine) for one backend config."""
-    base = EngineConfig(backend=backend, n_workers=N_WORKERS, **overrides)
-    return (
-        AggregateRiskEngine(base),
-        AggregateRiskEngine(base.replace(execution="legacy")),
-    )
-
-
-def _assert_identical(plan_result, legacy_result):
-    assert np.array_equal(plan_result.ylt.losses, legacy_result.ylt.losses)
-    plan_max = plan_result.ylt.max_occurrence_losses
-    legacy_max = legacy_result.ylt.max_occurrence_losses
-    if legacy_max is None:
-        assert plan_max is None
+def _assert_identical(lhs, rhs):
+    assert np.array_equal(lhs.ylt.losses, rhs.ylt.losses)
+    lhs_max = lhs.ylt.max_occurrence_losses
+    rhs_max = rhs.ylt.max_occurrence_losses
+    if rhs_max is None:
+        assert lhs_max is None
     else:
-        assert np.array_equal(plan_max, legacy_max)
-    assert plan_result.ylt.layer_names == legacy_result.ylt.layer_names
+        assert np.array_equal(lhs_max, rhs_max)
+    assert lhs.ylt.layer_names == rhs.ylt.layer_names
 
 
 @pytest.mark.parametrize("backend", BACKEND_NAMES)
-def test_run_plan_vs_legacy_bit_identical(workload, backend):
-    """`run` through the plan pipeline == the legacy dispatch, exactly."""
-    plan_engine, legacy_engine = _engines(backend)
-    _assert_identical(
-        plan_engine.run(workload.program, workload.yet),
-        legacy_engine.run(workload.program, workload.yet),
+def test_facade_run_equals_explicit_plan(workload, backend):
+    """`run` == lowering through PlanBuilder + run_plan, exactly."""
+    engine = AggregateRiskEngine(EngineConfig(backend=backend, n_workers=N_WORKERS))
+    via_facade = engine.run(workload.program, workload.yet)
+    via_plan = engine.run_plan(
+        PlanBuilder.from_program(workload.program, workload.yet)
     )
+    _assert_identical(via_facade, via_plan)
 
 
 @pytest.mark.parametrize("backend", BACKEND_NAMES)
-def test_run_plan_vs_legacy_perlayer_bit_identical(workload, backend):
-    """The fused_layers=False ablation stays bit-identical under plans."""
-    plan_engine, legacy_engine = _engines(backend, fused_layers=False)
-    _assert_identical(
-        plan_engine.run(workload.program, workload.yet),
-        legacy_engine.run(workload.program, workload.yet),
+def test_fused_vs_perlayer_plan_bit_identical(workload, backend):
+    """The fused path and the per-layer ablation agree bit for bit.
+
+    The fused stacked gather performs the same floating-point operations in
+    the same order as the per-layer loop, so the agreement is exact (the
+    sequential and gpu reference backends run their per-layer path under
+    both configs and are trivially identical).
+    """
+    base = EngineConfig(backend=backend, n_workers=N_WORKERS)
+    fused = AggregateRiskEngine(base.replace(fused_layers=True)).run(
+        workload.program, workload.yet
     )
+    perlayer = AggregateRiskEngine(base.replace(fused_layers=False)).run(
+        workload.program, workload.yet
+    )
+    _assert_identical(fused, perlayer)
 
 
 @pytest.mark.parametrize("backend", ("vectorized", "chunked"))
-def test_run_plan_vs_legacy_cumulative_ablation(workload, backend):
-    """use_aggregate_shortcut=False stays bit-identical under plans."""
-    plan_engine, legacy_engine = _engines(backend, use_aggregate_shortcut=False)
-    _assert_identical(
-        plan_engine.run(workload.program, workload.yet),
-        legacy_engine.run(workload.program, workload.yet),
+def test_shortcut_vs_cumulative_plan_ablation(workload, backend):
+    """use_aggregate_shortcut toggling never moves year losses beyond 1e-9.
+
+    The telescoped shortcut reassociates the aggregate-terms reduction, so
+    the two paths are equivalent mathematically but not bit-for-bit.
+    """
+    base = EngineConfig(backend=backend, n_workers=N_WORKERS)
+    shortcut = AggregateRiskEngine(base.replace(use_aggregate_shortcut=True)).run(
+        workload.program, workload.yet
+    )
+    cumulative = AggregateRiskEngine(base.replace(use_aggregate_shortcut=False)).run(
+        workload.program, workload.yet
+    )
+    np.testing.assert_allclose(
+        shortcut.ylt.losses, cumulative.ylt.losses, rtol=1e-9, atol=1e-6
     )
 
 
 @pytest.mark.parametrize("shared_memory", ("on", "off"))
 def test_multicore_transports_bit_identical(workload, shared_memory):
-    """Shared-memory and pickling transports agree with the legacy run exactly."""
-    plan_engine, legacy_engine = _engines("multicore", shared_memory=shared_memory)
-    _assert_identical(
-        plan_engine.run(workload.program, workload.yet),
-        legacy_engine.run(workload.program, workload.yet),
+    """Shared-memory and pickling transports agree exactly.
+
+    The transport decides how the fused stack and the YET columns reach the
+    workers; it must never change a byte of what the kernels read.  The
+    pickling/inheritance run is the reference.
+    """
+    reference = AggregateRiskEngine(
+        EngineConfig(backend="multicore", n_workers=N_WORKERS, shared_memory="off")
+    ).run(workload.program, workload.yet)
+    candidate = AggregateRiskEngine(
+        EngineConfig(
+            backend="multicore", n_workers=N_WORKERS, shared_memory=shared_memory
+        )
+    ).run(workload.program, workload.yet)
+    _assert_identical(candidate, reference)
+
+
+def test_multicore_workspace_reuse_bit_identical(workload):
+    """The warm workspace-reuse transport equals cold publication exactly."""
+    engine = AggregateRiskEngine(
+        EngineConfig(backend="multicore", n_workers=N_WORKERS, shared_memory="on")
     )
+    engine.retain_shared_workspaces(True)
+    try:
+        plan = PlanBuilder.from_program(workload.program, workload.yet)
+        cold = engine.run_plan(plan)
+        warm = engine.run_plan(plan)
+        assert cold.details["workspace_reused"] is False
+        assert warm.details["workspace_reused"] is True
+        _assert_identical(warm, cold)
+    finally:
+        engine.close()
 
 
 @pytest.mark.parametrize("backend", BACKEND_NAMES)
 @pytest.mark.parametrize("dedupe", (True, False), ids=["dedupe", "no-dedupe"])
-def test_run_many_vs_legacy_recipe_bit_identical(workload, backend, dedupe):
-    """run_many == concatenate -> legacy run -> split, exactly, on all backends.
+def test_run_many_vs_combined_run_bit_identical(workload, backend, dedupe):
+    """run_many == concatenate -> run -> split, exactly, on all backends.
 
     The term variants share their layers' ELT objects, so the dedupe=True
-    case exercises the row_map expansion against the fully expanded legacy
-    stack.
+    case exercises the row_map expansion against the fully expanded
+    combined-program stack.
     """
     program = workload.program
     variant = ReinsuranceProgram(
@@ -132,29 +175,30 @@ def test_run_many_vs_legacy_recipe_bit_identical(workload, backend, dedupe):
         ],
         name="variant",
     )
-    plan_engine, legacy_engine = _engines(backend)
-    results = plan_engine.run_many([program, variant], workload.yet, dedupe=dedupe)
+    engine = AggregateRiskEngine(EngineConfig(backend=backend, n_workers=N_WORKERS))
+    results = engine.run_many([program, variant], workload.yet, dedupe=dedupe)
 
-    # The legacy run_many recipe: one combined program, one run, split back.
+    # The reference recipe: one combined program, one run, split back.
     combined = ReinsuranceProgram(
         list(program.layers) + list(variant.layers), name="batch"
     )
-    legacy = legacy_engine.run(combined, workload.yet)
+    reference = engine.run(combined, workload.yet)
     n = program.n_layers
-    assert np.array_equal(results[0].ylt.losses, legacy.ylt.losses[:n])
-    assert np.array_equal(results[1].ylt.losses, legacy.ylt.losses[n:])
+    assert np.array_equal(results[0].ylt.losses, reference.ylt.losses[:n])
+    assert np.array_equal(results[1].ylt.losses, reference.ylt.losses[n:])
     assert results[0].details["batch"]["n_programs"] == 2
     assert results[1].details["batch"]["total_layers"] == combined.n_layers
 
 
 @pytest.mark.parametrize("backend", ("vectorized", "chunked", "multicore"))
 def test_run_stacked_vs_direct_kernel_bit_identical(workload, backend):
-    """run_stacked == the deleted per-backend implementations' kernel call.
+    """run_stacked == a direct fused-kernel call over the same stack.
 
-    The deleted implementations were a single fused-kernel call over the
-    whole YET (vectorized/chunked) or that same call per trial block
-    (multicore).  A single multicore worker owns one block spanning every
-    trial, so all three backends must reproduce the direct call bit for bit.
+    The synthetic-plan lowering adds bookkeeping only: a single fused-kernel
+    call over the whole YET (vectorized/chunked) or that same call per trial
+    block (multicore).  A single multicore worker owns one block spanning
+    every trial, so all three backends must reproduce the direct call bit
+    for bit.
     """
     program = workload.program
     stack = np.stack(
@@ -183,8 +227,8 @@ def test_run_stacked_multicore_worker_invariance(workload):
     """Sharding the stacked rows over workers never moves the results.
 
     Per-block accumulation may round differently from the whole-YET pass in
-    the last couple of bits (exactly as the deleted multicore run_stacked
-    did), so worker counts are compared at 1e-12 relative tolerance.
+    the last couple of bits, so worker counts are compared at 1e-12 relative
+    tolerance.
     """
     program = workload.program
     stack = np.stack(
@@ -264,3 +308,9 @@ def test_uncertainty_batched_path_unchanged_by_plan_lowering(workload):
         np.testing.assert_allclose(
             batched[name].values, replay[name].values, rtol=1e-9, atol=0.0
         )
+
+
+def test_legacy_execution_mode_removed():
+    """The deprecation window closed: legacy must fail with a migration hint."""
+    with pytest.raises(ValueError, match="has been removed"):
+        EngineConfig(execution="legacy")

@@ -1,0 +1,131 @@
+"""Tests for the AnalysisRequest schema: round-trips and validation."""
+
+import json
+
+import pytest
+
+from repro.service.request import (
+    REQUEST_KINDS,
+    AnalysisRequest,
+    RequestValidationError,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_defaults(self):
+        request = AnalysisRequest(kind="run", program="bench").validate()
+        assert AnalysisRequest.from_dict(request.to_dict()) == request
+
+    def test_dict_round_trip_every_field(self):
+        request = AnalysisRequest(
+            kind="sweep",
+            program="bench",
+            variants=8,
+            dedupe=False,
+            max_rows_per_block=16,
+            return_periods=(10.0, 50.0),
+            tvar_levels=(0.95,),
+            seed=7,
+            quote=False,
+            tags={"client": "desk-3"},
+        ).validate()
+        assert AnalysisRequest.from_dict(request.to_dict()) == request
+
+    def test_json_round_trip(self):
+        request = AnalysisRequest(
+            kind="run_many", programs=("a", "b"), yet="y", dedupe=False
+        ).validate()
+        document = request.to_json()
+        json.loads(document)  # well-formed
+        assert AnalysisRequest.from_json(document) == request
+
+    def test_to_dict_is_json_compatible(self):
+        request = AnalysisRequest(kind="uncertainty", program="bench", seed=3)
+        json.dumps(request.to_dict())
+
+    def test_lists_become_tuples(self):
+        request = AnalysisRequest.from_dict(
+            {"kind": "run_many", "programs": ["a", "b"]}
+        )
+        assert request.programs == ("a", "b")
+        assert isinstance(request.return_periods, tuple)
+
+
+class TestValidation:
+    def test_all_kinds_accepted(self):
+        for kind in REQUEST_KINDS:
+            AnalysisRequest(kind=kind)  # construction never validates eagerly
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(RequestValidationError, match="unknown kind"):
+            AnalysisRequest(kind="teleport").validate()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(RequestValidationError, match="unknown fields.*programme"):
+            AnalysisRequest.from_dict({"kind": "run", "programme": "typo"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(RequestValidationError, match="missing required field 'kind'"):
+            AnalysisRequest.from_dict({"program": "bench"})
+
+    def test_run_requires_program(self):
+        with pytest.raises(RequestValidationError, match="requires a program"):
+            AnalysisRequest(kind="run").validate()
+
+    def test_run_rejects_program_list(self):
+        with pytest.raises(RequestValidationError, match="single program"):
+            AnalysisRequest(kind="run", program="a", programs=("b",)).validate()
+
+    def test_run_many_needs_programs_or_variants(self):
+        with pytest.raises(RequestValidationError, match="explicit program names"):
+            AnalysisRequest(kind="run_many", program="a").validate()
+
+    def test_run_many_rejects_both_forms(self):
+        with pytest.raises(RequestValidationError, match="either"):
+            AnalysisRequest(
+                kind="run_many", program="a", variants=2, programs=("b",)
+            ).validate()
+
+    def test_run_stacked_requires_stack_and_yet(self):
+        with pytest.raises(RequestValidationError, match="requires a stack"):
+            AnalysisRequest(kind="run_stacked").validate()
+        with pytest.raises(RequestValidationError, match="explicit YET"):
+            AnalysisRequest(kind="run_stacked", stack="s").validate()
+
+    def test_stack_rejected_on_other_kinds(self):
+        with pytest.raises(RequestValidationError, match="does not take a stack"):
+            AnalysisRequest(kind="run", program="a", stack="s").validate()
+
+    @pytest.mark.parametrize(
+        "overrides,match",
+        [
+            (dict(replications=0), "replications"),
+            (dict(replication_block=-1), "replication_block"),
+            (dict(cv=-0.5), "cv"),
+            (dict(method="guess"), "unknown method"),
+            (dict(return_periods=(0.0,)), "return periods"),
+            (dict(tvar_levels=(1.5,)), "TVaR levels"),
+            (dict(variants=-1), "variants"),
+            (dict(max_rows_per_block=-2), "max_rows_per_block"),
+        ],
+    )
+    def test_field_bounds(self, overrides, match):
+        with pytest.raises(RequestValidationError, match=match):
+            AnalysisRequest(kind="uncertainty", program="a", **overrides).validate()
+
+    def test_validation_error_names_field(self):
+        with pytest.raises(RequestValidationError) as excinfo:
+            AnalysisRequest(kind="run").validate()
+        assert excinfo.value.field == "program"
+
+    def test_invalid_json_document(self):
+        with pytest.raises(RequestValidationError, match="not valid JSON"):
+            AnalysisRequest.from_json("{nope")
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(RequestValidationError, match="expected a mapping"):
+            AnalysisRequest.from_dict(["kind", "run"])
+
+    def test_scalar_list_field_rejected(self):
+        with pytest.raises(RequestValidationError, match="must be a list"):
+            AnalysisRequest.from_dict({"kind": "run_many", "programs": "solo"})

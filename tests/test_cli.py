@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import io
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -183,3 +186,57 @@ class TestCommands:
 
     def test_seed_override(self, capsys):
         assert main(["run", "--preset", "tiny", "--seed", "123"]) == 0
+
+
+class TestRequestCommand:
+    def test_inline_json_request(self, capsys):
+        assert main(["request", "--json", '{"kind": "run", "program": "tiny"}']) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "run"
+        assert payload["backend"] == "vectorized"
+        assert payload["cache"]["hit"] is False
+        assert payload["results"][0]["n_layers"] == 2
+
+    def test_request_from_file(self, tmp_path, capsys):
+        document = tmp_path / "request.json"
+        document.write_text('{"kind": "run_many", "program": "tiny", "variants": 2}')
+        assert main(["request", "--file", str(document), "--pretty"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["quotes"]) == 2
+
+    def test_request_from_stdin(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO('{"kind": "run", "program": "tiny"}')
+        )
+        assert main(["request"]) == 0
+        assert json.loads(capsys.readouterr().out)["kind"] == "run"
+
+    def test_invalid_request_rejected(self, capsys):
+        assert main(["request", "--json", '{"kind": "teleport"}']) == 2
+        assert "unknown kind" in capsys.readouterr().err
+
+    def test_json_and_file_mutually_exclusive(self, tmp_path, capsys):
+        document = tmp_path / "request.json"
+        document.write_text("{}")
+        assert main(["request", "--json", "{}", "--file", str(document)]) == 2
+        assert "either --json or --file" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_warm_ndjson_loop(self, monkeypatch, capsys):
+        lines = "\n".join(
+            [
+                '{"kind": "run", "program": "tiny"}',
+                "",  # blank lines are skipped
+                '{"kind": "run", "program": "tiny"}',
+                '{"kind": "nope"}',
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        assert main(["serve"]) == 0
+        captured = capsys.readouterr()
+        answers = [json.loads(line) for line in captured.out.splitlines()]
+        assert answers[0]["cache"]["hit"] is False
+        assert answers[1]["cache"]["hit"] is True  # warm plan + stack reuse
+        assert "error" in answers[2]
+        assert "served 2 requests" in captured.err
