@@ -1,0 +1,181 @@
+"""Trial-sharded execution: merge overhead and out-of-core memory.
+
+The sharded refactor's pitch is "the reduction side of the paper's
+map/reduce shape for free": executing a plan as N disjoint trial shards and
+merging the :class:`~repro.core.results.PartialResult` blocks must cost
+almost nothing in wall time (the kernels do the same arithmetic, just in N
+passes) while bounding resident memory at one shard — which is what lets a
+stored YET larger than RAM be priced through
+:class:`~repro.yet.io.YetShardReader`.  This harness pins both claims on a
+4x-oversized YET (its whole-table fused gather is ~4x the sharded working
+set):
+
+* ``test_sharded_runs`` — pytest-benchmark measurements of the monolithic
+  and 8-shard vectorized runs;
+* ``test_sharded_out_of_core_memory`` — a plain assertion (runs in the CI
+  bench smoke) that the out-of-core run's peak traced memory is at least 2x
+  below the monolithic in-memory run's, with bit-identity cross-checked.
+  Emits ``BENCH_sharded.json``;
+* ``test_sharded_wall_within_budget`` — the wall-time acceptance: an
+  8-shard run stays within 1.15x of the monolithic wall time (deselected in
+  CI like every timing-ratio gate; run locally to refresh the record).
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.yet.io import YetShardReader, save_yet_store
+
+from .conftest import build_workload
+from .record import record_benchmark
+
+SHARD_TRIALS = 4000
+SHARD_EVENTS = 80
+SHARD_LAYERS = 8
+SHARD_ELTS = 4
+SHARD_CATALOG = 20_000
+N_SHARDS = 8
+
+#: Wall-time acceptance: sharded within this factor of monolithic.
+WALL_BUDGET = 1.15
+#: Memory acceptance: out-of-core peak at least this factor below monolithic.
+RSS_REDUCTION = 2.0
+
+
+def _workload():
+    return build_workload(
+        n_trials=SHARD_TRIALS,
+        events_per_trial=SHARD_EVENTS,
+        n_layers=SHARD_LAYERS,
+        elts_per_layer=SHARD_ELTS,
+        catalog_size=SHARD_CATALOG,
+    )
+
+
+def _engine() -> AggregateRiskEngine:
+    return AggregateRiskEngine(EngineConfig(backend="vectorized"))
+
+
+def _warm(workload) -> None:
+    """Build the dense matrices once so runs measure execution, not lowering."""
+    for layer in workload.program.layers:
+        layer.loss_matrix().combined_net_losses()
+
+
+@pytest.mark.benchmark(group="sharded")
+@pytest.mark.parametrize("n_shards", [1, N_SHARDS])
+def test_sharded_runs(benchmark, n_shards):
+    workload = _workload()
+    _warm(workload)
+    engine = AggregateRiskEngine(
+        EngineConfig(backend="vectorized", trial_shards=n_shards)
+    )
+    benchmark(lambda: engine.run(workload.program, workload.yet))
+    benchmark.extra_info["n_shards"] = n_shards
+    benchmark.extra_info["n_trials"] = SHARD_TRIALS
+
+
+def _best_of(n_repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n_repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sharded_out_of_core_memory(tmp_path):
+    """Acceptance: out-of-core peak memory >= 2x below the monolithic run's.
+
+    The monolithic vectorized run holds the whole YET plus the fused
+    ``(n_rows, total_events)`` gather; the out-of-core run holds one shard's
+    columns, one shard's gather, the stack and the accumulated year-loss
+    blocks.  Peaks are measured with ``tracemalloc`` (NumPy registers its
+    allocations), which tracks the allocations under our control rather
+    than noisy process RSS.
+    """
+    workload = _workload()
+    _warm(workload)
+    engine = _engine()
+    store = save_yet_store(workload.yet, tmp_path / "yet_store")
+
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        monolithic = engine.run(workload.program, workload.yet)
+        _, monolithic_peak = tracemalloc.get_traced_memory()
+
+        with YetShardReader(store) as reader:
+            tracemalloc.reset_peak()
+            sharded = engine.run_sharded(workload.program, reader, N_SHARDS)
+            _, sharded_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    np.testing.assert_array_equal(sharded.ylt.losses, monolithic.ylt.losses)
+    reduction = monolithic_peak / sharded_peak
+
+    wall_monolithic = _best_of(3, lambda: engine.run(workload.program, workload.yet))
+    with YetShardReader(store) as reader:
+        wall_sharded = _best_of(
+            3, lambda: engine.run_sharded(workload.program, reader, N_SHARDS)
+        )
+    record_benchmark(
+        "sharded",
+        backend="vectorized",
+        shape={
+            "n_trials": SHARD_TRIALS,
+            "events_per_trial": SHARD_EVENTS,
+            "n_layers": SHARD_LAYERS,
+            "elts_per_layer": SHARD_ELTS,
+            "catalog_size": SHARD_CATALOG,
+            "n_shards": N_SHARDS,
+        },
+        baseline_seconds=wall_monolithic,
+        candidate_seconds=wall_sharded,
+        threshold=1.0 / WALL_BUDGET,
+        meta={
+            "baseline": "monolithic in-memory vectorized run",
+            "candidate": f"out-of-core run_sharded over {N_SHARDS} shards",
+            "peak_monolithic_bytes": int(monolithic_peak),
+            "peak_sharded_bytes": int(sharded_peak),
+            "peak_reduction": round(reduction, 2),
+            "wall_budget": WALL_BUDGET,
+            "rss_reduction_threshold": RSS_REDUCTION,
+        },
+    )
+    assert reduction >= RSS_REDUCTION, (
+        f"out-of-core peak is only {reduction:.2f}x below monolithic "
+        f"({sharded_peak / 1e6:.1f} MB vs {monolithic_peak / 1e6:.1f} MB)"
+    )
+
+
+def test_sharded_wall_within_budget():
+    """Acceptance: an 8-shard run within 1.15x of the monolithic wall time."""
+    workload = _workload()
+    _warm(workload)
+    monolithic_engine = _engine()
+    sharded_engine = AggregateRiskEngine(
+        EngineConfig(backend="vectorized", trial_shards=N_SHARDS)
+    )
+
+    reference = monolithic_engine.run(workload.program, workload.yet)
+    candidate = sharded_engine.run(workload.program, workload.yet)
+    np.testing.assert_array_equal(candidate.ylt.losses, reference.ylt.losses)
+
+    wall_monolithic = _best_of(
+        5, lambda: monolithic_engine.run(workload.program, workload.yet)
+    )
+    wall_sharded = _best_of(
+        5, lambda: sharded_engine.run(workload.program, workload.yet)
+    )
+    ratio = wall_sharded / wall_monolithic
+    assert ratio <= WALL_BUDGET, (
+        f"8-shard run is {ratio:.3f}x the monolithic wall time "
+        f"({wall_sharded:.4f}s vs {wall_monolithic:.4f}s; budget {WALL_BUDGET}x)"
+    )

@@ -20,7 +20,11 @@ This is the 60-second tour of the library:
 7. serve repeated requests from a warm RiskService: declarative JSON-able
    requests, a content-addressed cache of lowered plans and fused stacks,
    and cache/timing metadata on every response (CLI equivalents:
-   ``are request --json '{...}'`` and the ``are serve`` NDJSON loop).
+   ``are request --json '{...}'`` and the ``are serve`` NDJSON loop),
+8. shard the run over disjoint trial ranges and merge the partial results
+   *exactly* — then price the same workload out-of-core from a
+   memory-mapped YET store, resident memory bounded by one shard (CLI
+   equivalent: ``are run --shards 8``).
 
 Every entry point above lowers to the same ExecutionPlan IR (one workload
 description of tiles over trial blocks x stacked layer rows) that all five
@@ -183,6 +187,40 @@ def main() -> None:
     print("   warm == cold bit-for-bit:",
           bool((warm.result.ylt.losses == cold.result.ylt.losses).all()))
     risk_service.close()
+
+    # ------------------------------------------------------------------ #
+    # 8. Sharded + out-of-core execution.  Every backend runs a plan as a
+    #    loop over disjoint trial shards whose PartialResults merge exactly
+    #    (per-trial reductions are trial-local, so any shard count is
+    #    bit-identical to the monolithic run).  Writing the YET to a store
+    #    directory and pricing it through YetShardReader keeps only one
+    #    shard's event columns resident — the out-of-core path for tables
+    #    bigger than RAM.
+    # ------------------------------------------------------------------ #
+    import tempfile
+    from pathlib import Path
+
+    from repro.yet import YetShardReader, save_yet_store
+
+    sharded_engine = AggregateRiskEngine(
+        EngineConfig(backend="vectorized", trial_shards=8)
+    )
+    sharded = sharded_engine.run(workload.program, workload.yet)
+    print("\nSharded run (8 trial shards, merged exactly):")
+    print("  ", sharded.summary())
+    print("   sharded == monolithic bit-for-bit:",
+          bool((sharded.ylt.losses == result.ylt.losses).all()))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = save_yet_store(workload.yet, Path(tmp) / "yet_store")
+        with YetShardReader(store) as reader:
+            out_of_core = AggregateRiskEngine(EngineConfig()).run_sharded(
+                workload.program, reader, n_shards=8
+            )
+    print("   out-of-core (memory-mapped store, 8 shards):",
+          out_of_core.details["sharded"])
+    print("   out-of-core == monolithic bit-for-bit:",
+          bool((out_of_core.ylt.losses == result.ylt.losses).all()))
 
 
 if __name__ == "__main__":

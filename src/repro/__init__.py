@@ -33,11 +33,23 @@ of lowered execution plans and fused loss stacks::
 
 (CLI: ``are request`` for one JSON round trip, ``are serve`` for a warm
 NDJSON request loop).
+
+Every backend executes as a loop over disjoint *trial shards* whose partial
+results merge exactly (``EngineConfig(trial_shards=8)``, ``plan.shard(n)``
++ :class:`~repro.core.results.ResultAccumulator`, a request's ``shards``
+field, or ``are run --shards 8``); tables larger than RAM are priced
+out-of-core through :class:`~repro.yet.io.YetShardReader` with resident
+memory bounded by one shard.
 """
 
 from repro.core.config import EngineConfig
 from repro.core.engine import AggregateRiskEngine, available_backends
-from repro.core.results import EngineResult
+from repro.core.results import (
+    EngineResult,
+    MetricState,
+    PartialResult,
+    ResultAccumulator,
+)
 from repro.elt.table import EventLossTable
 from repro.financial.terms import FinancialTerms, LayerTerms
 from repro.portfolio.layer import Layer
@@ -62,7 +74,10 @@ __all__ = [
     "AnalysisResponse",
     "EngineConfig",
     "EngineResult",
+    "MetricState",
+    "PartialResult",
     "PlanCache",
+    "ResultAccumulator",
     "RequestValidationError",
     "RiskService",
     "available_backends",

@@ -196,6 +196,11 @@ def _add_run_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--seed", type=int, default=None, help="override the preset seed")
     sub.add_argument("--backend", default="vectorized", choices=BACKEND_NAMES)
     sub.add_argument("--workers", type=int, default=1, help="workers for the multicore backend")
+    sub.add_argument(
+        "--shards", type=_non_negative_int, default=0, metavar="N",
+        help="execute as N disjoint trial shards, merged exactly "
+             "(bounds the per-pass working set; 0 = one shard)",
+    )
     sub.add_argument("--threads-per-block", type=int, default=256)
     sub.add_argument("--chunk-size", type=int, default=4)
     sub.add_argument("--phases", action="store_true", help="record the phase breakdown")
@@ -221,6 +226,7 @@ def _build_config(args: argparse.Namespace) -> EngineConfig:
     return EngineConfig(
         backend=args.backend,
         n_workers=args.workers,
+        trial_shards=max(getattr(args, "shards", 0), 1),
         threads_per_block=getattr(args, "threads_per_block", 256),
         gpu_chunk_size=getattr(args, "chunk_size", 4),
         record_phases=getattr(args, "phases", False),
@@ -248,7 +254,12 @@ def _command_run(args: argparse.Namespace) -> int:
     service = _build_service(args, workload)
     if args.batch > 0:
         response = service.submit(
-            AnalysisRequest(kind="run_many", program=args.preset, variants=args.batch)
+            AnalysisRequest(
+                kind="run_many",
+                program=args.preset,
+                variants=args.batch,
+                shards=args.shards,
+            )
         )
         print(f"workload : {workload.summary()}")
         print(f"batch    : {len(response.results)} variants x {workload.program.n_layers} layers "
@@ -258,10 +269,13 @@ def _command_run(args: argparse.Namespace) -> int:
         if response.results[0].phase_breakdown is not None:
             print(response.results[0].phase_breakdown.format_table())
         return 0
-    response = service.submit(AnalysisRequest(kind="run", program=args.preset))
+    response = service.submit(
+        AnalysisRequest(kind="run", program=args.preset, shards=args.shards)
+    )
     result = response.result
     print(f"workload : {workload.summary()}")
-    print(f"result   : {result.summary()}")
+    print(f"result   : {result.summary()}"
+          + (f" shards={result.details.get('trial_shards')}" if args.shards else ""))
     if result.phase_breakdown is not None:
         print(result.phase_breakdown.format_table())
     return 0
@@ -281,6 +295,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             variants=args.variants,
             max_rows_per_block=args.block_rows,
             dedupe=not args.no_dedupe,
+            shards=args.shards,
         )
     )
     cursor = 0
@@ -382,14 +397,36 @@ def _command_request(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_error_payload(exc: Exception) -> dict:
+    """Structured NDJSON error envelope for one failed request line.
+
+    Carries the exception type and, for schema errors, the offending field,
+    so callers can handle failures programmatically instead of parsing
+    message strings.
+    """
+    error = {"message": str(exc), "type": type(exc).__name__}
+    field = getattr(exc, "field", None)
+    if field is not None:
+        error["field"] = field
+    return {"error": error}
+
+
 def _command_serve(args: argparse.Namespace) -> int:
-    """Answer NDJSON requests from stdin on one warm service (one JSON line each)."""
+    """Answer NDJSON requests from stdin on one warm service (one JSON line each).
+
+    The loop is crash-proof per line: a malformed request line — bad JSON, a
+    schema violation, or any error the engine raises while executing it —
+    answers with a structured ``{"error": {...}}`` line and the warm service
+    keeps serving.  Every response line is flushed immediately so a pipe
+    driving the loop sees each answer as soon as it exists.
+    """
     answered = 0
     with RiskService(config=_build_config(args), cache_size=args.cache_size) as service:
         print(
             f"serving on {args.backend} (plan cache: {args.cache_size} entries); "
             "one JSON request per line",
             file=sys.stderr,
+            flush=True,
         )
         for line in sys.stdin:
             line = line.strip()
@@ -397,17 +434,15 @@ def _command_serve(args: argparse.Namespace) -> int:
                 continue
             try:
                 response = service.submit(line)
-            except (RequestValidationError, ValueError) as exc:
-                # A bad request — or a valid one the engine rejects (e.g. a
-                # stacked workload on a reference backend) — answers with an
-                # error line; the warm service keeps serving.
-                print(json.dumps({"error": str(exc)}), flush=True)
+            except Exception as exc:  # noqa: BLE001 - the loop must survive any request
+                print(json.dumps(_serve_error_payload(exc)), flush=True)
                 continue
             print(json.dumps(response.to_dict(), sort_keys=True), flush=True)
             answered += 1
         print(
             f"served {answered} requests | {service.cache_stats().summary()}",
             file=sys.stderr,
+            flush=True,
         )
     return 0
 

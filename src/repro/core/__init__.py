@@ -40,7 +40,12 @@ from repro.core.phases import (
     PHASE_FINANCIAL_TERMS,
     PHASE_LAYER_TERMS,
 )
-from repro.core.results import EngineResult
+from repro.core.results import (
+    EngineResult,
+    MetricState,
+    PartialResult,
+    ResultAccumulator,
+)
 from repro.core.sequential import SequentialEngine
 from repro.core.vectorized import VectorizedEngine
 
@@ -49,8 +54,11 @@ __all__ = [
     "EngineConfig",
     "EngineResult",
     "ExecutionPlan",
+    "MetricState",
+    "PartialResult",
     "PlanBuilder",
     "PlanSegment",
+    "ResultAccumulator",
     "available_backends",
     "SequentialEngine",
     "VectorizedEngine",

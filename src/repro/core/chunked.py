@@ -1,29 +1,30 @@
 """Chunked backend: the CPU analogue of the optimised GPU kernel.
 
-The vectorized backend materialises an ``(n_rows, total_events)`` gather
+The vectorized backend materialises an ``(n_rows, shard_events)`` gather
 buffer; for the paper's full-scale workload (15 ELTs x 10^9 events) that is
 120 GB — exactly the kind of working set the optimised GPU kernel avoids by
 staging fixed-size chunks through shared memory.  This backend applies the
-same idea on the CPU: the flattened event stream is processed in chunks of
-``EngineConfig.chunk_events`` occurrences, bounding the temporary buffer to
-``n_rows x chunk_events`` doubles (and, as a pleasant side effect, keeping it
-inside the last-level cache for realistic chunk sizes).
+same idea on the CPU: the flattened event stream is processed in
+trial-aligned chunks of about ``EngineConfig.chunk_events`` occurrences,
+bounding the temporary buffer to ``n_rows x chunk_events`` doubles (and, as
+a pleasant side effect, keeping it inside the last-level cache for realistic
+chunk sizes).  Chunks are cut at trial boundaries only, so the streamed
+result is bit-identical to the unchunked gather for any chunk size.
 
 With ``EngineConfig.fused_layers`` (the default) the chunking happens inside
 the fused multi-layer kernel: all plan rows are gathered from the stacked
 ``(n_rows, catalog_size)`` loss matrix chunk by chunk and the per-trial
-reductions are accumulated as each chunk is processed, so the working set is
-``n_rows x chunk_events`` doubles (plus the output tables) and each chunk
-of the YET is touched once for the whole plan instead of once per layer.
-The streaming accumulation needs the telescoped aggregate shortcut; the
+reductions are computed as each chunk is processed.  The streaming
+accumulation needs the telescoped aggregate shortcut; the
 ``use_aggregate_shortcut=False`` ablation falls back to the per-layer loop
 (or, for synthetic stacks, to one unchunked cumulative pass).
 
 :meth:`ChunkedEngine.run_plan` schedules the unified
-:class:`~repro.core.plan.ExecutionPlan` IR by streaming the plan's single
-row-complete tile through event chunks; it is the backend's *only* entry
-point — the pre-plan per-backend ``run`` dispatch was removed once the
-plan-vs-legacy conformance window closed.
+:class:`~repro.core.plan.ExecutionPlan` IR in shard-loop + accumulate form
+(see :mod:`repro.core.results`): each trial shard is streamed through event
+chunks independently and the per-shard partials merge exactly, so
+``trial_shards`` composes with ``chunk_events`` — the shard bounds what is
+resident, the chunk bounds what is gathered.
 """
 
 from __future__ import annotations
@@ -33,14 +34,15 @@ import numpy as np
 from repro.core.config import EngineConfig
 from repro.core.kernels import layer_trial_losses_batch, layer_trial_losses_chunked
 from repro.core.plan import ExecutionPlan, finalize_plan_result
-from repro.core.results import EngineResult
+from repro.core.results import EngineResult, PartialResult, ResultAccumulator
+from repro.parallel.partitioner import TrialRange
 from repro.utils.timing import PhaseTimer, Timer
 
 __all__ = ["ChunkedEngine"]
 
 
 class ChunkedEngine:
-    """NumPy backend streaming the YET through fixed-size event chunks."""
+    """NumPy backend streaming each trial shard through fixed-size event chunks."""
 
     name = "chunked"
 
@@ -62,50 +64,62 @@ class ChunkedEngine:
         # kernel in one unchunked cumulative pass instead.
         synthetic = not plan.has_layers
         fused = synthetic or (config.fused_layers and config.use_aggregate_shortcut)
-        if fused:
-            chunk_events = config.chunk_events if config.use_aggregate_shortcut else None
-            losses, max_occ = layer_trial_losses_batch(
-                (),
-                plan.yet.event_ids,
-                plan.yet.trial_offsets,
-                plan.terms,
-                use_shortcut=config.use_aggregate_shortcut,
-                record_max_occurrence=config.record_max_occurrence,
-                timer=timer,
-                chunk_events=chunk_events,
-                stack=plan.stack(timer),
-                row_map=plan.row_map,
-            )
-        else:
-            chunk_events = config.chunk_events
-            losses, max_occ = _per_layer_chunked_losses(plan, config, timer)
+        chunk_events = (
+            config.chunk_events if (not fused or config.use_aggregate_shortcut) else None
+        )
+
+        shards = plan.shard_ranges(plan.n_shards or config.trial_shards)
+        accumulator = ResultAccumulator.for_plan(plan)
+        for trials in shards:
+            if fused:
+                event_ids, offsets = plan.yet.trial_window(trials.start, trials.stop)
+                losses, max_occ = layer_trial_losses_batch(
+                    (),
+                    event_ids,
+                    offsets,
+                    plan.terms,
+                    use_shortcut=config.use_aggregate_shortcut,
+                    record_max_occurrence=config.record_max_occurrence,
+                    timer=timer,
+                    chunk_events=chunk_events,
+                    stack=plan.stack(timer),
+                    row_map=plan.row_map,
+                )
+            else:
+                losses, max_occ = _per_layer_chunked_losses(plan, trials, config, timer)
+            accumulator.add(PartialResult(trials, losses, max_occ))
 
         return finalize_plan_result(
             plan,
             self.name,
-            losses,
-            max_occ,
+            accumulator.year_losses(),
+            accumulator.max_occurrence_losses(),
             wall.stop(),
-            {"chunk_events": chunk_events, "fused_layers": fused},
+            {
+                "chunk_events": chunk_events,
+                "fused_layers": fused,
+                "trial_shards": len(shards),
+            },
             phase_breakdown=timer.breakdown() if config.record_phases else None,
         )
 
 
 def _per_layer_chunked_losses(
-    plan: ExecutionPlan, config: EngineConfig, timer: PhaseTimer
+    plan: ExecutionPlan, trials: TrialRange, config: EngineConfig, timer: PhaseTimer
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Per-row chunked loop: the ``fused_layers=False`` / cumulative ablation."""
-    losses = np.zeros((plan.n_rows, plan.n_trials), dtype=np.float64)
+    event_ids, offsets = plan.yet.trial_window(trials.start, trials.stop)
+    losses = np.zeros((plan.n_rows, trials.size), dtype=np.float64)
     max_occ = (
-        np.zeros((plan.n_rows, plan.n_trials), dtype=np.float64)
+        np.zeros((plan.n_rows, trials.size), dtype=np.float64)
         if config.record_max_occurrence
         else None
     )
     for row, layer in enumerate(plan.layers):
         year_losses, trial_max = layer_trial_losses_chunked(
             layer.loss_matrix(),
-            plan.yet.event_ids,
-            plan.yet.trial_offsets,
+            event_ids,
+            offsets,
             layer.terms,
             chunk_events=config.chunk_events,
             use_shortcut=config.use_aggregate_shortcut,

@@ -95,9 +95,20 @@ class EngineConfig:
     record_phases:
         Record the per-phase timing breakdown (Figure 6b); adds measurement
         overhead, so benchmarks of raw speed leave it off.
+    trial_shards:
+        Trial-shard count of the scheduler's shard loop: every backend
+        executes a plan as this many disjoint trial shards, accumulating the
+        per-shard :class:`~repro.core.results.PartialResult` blocks into the
+        final result.  The merged output is **bit-identical** for every shard
+        count (per-trial reductions are trial-local); sharding exists to
+        bound the per-pass working set (the fused gather covers one shard's
+        events instead of the whole YET) and to shape the run for
+        distribution.  ``1`` (the default) is the monolithic single-shard
+        loop; a plan carrying its own ``n_shards`` overrides this field.
     chunk_events:
         Flattened-event chunk size of the *chunked* backend (number of event
-        occurrences staged per iteration).
+        occurrences staged per iteration; chunks are cut at trial
+        boundaries, so any chunk size produces identical results).
     replication_block:
         Replications sampled and priced per fused pass by the
         replication-batched secondary-uncertainty engine
@@ -142,6 +153,7 @@ class EngineConfig:
     fused_layers: bool = True
     record_max_occurrence: bool = True
     record_phases: bool = False
+    trial_shards: int = 1
     chunk_events: int = 8192
     replication_block: int = 0
     n_workers: int = 1
@@ -182,6 +194,8 @@ class EngineConfig:
                 f"unknown ELT representation {self.elt_representation!r}; "
                 f"expected one of {ELT_REPRESENTATIONS}"
             )
+        if self.trial_shards <= 0:
+            raise ValueError(f"trial_shards must be positive, got {self.trial_shards}")
         if self.chunk_events <= 0:
             raise ValueError(f"chunk_events must be positive, got {self.chunk_events}")
         if self.replication_block < 0:

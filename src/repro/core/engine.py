@@ -49,6 +49,16 @@ content-addressed cache of lowered plans and fused stacks, and (multicore)
 retained shared-memory workspaces, so repeated requests skip straight to
 the kernel pass — see :meth:`retain_shared_workspaces`.
 
+Every backend schedules a plan as a loop over disjoint **trial shards**
+whose :class:`~repro.core.results.PartialResult` blocks merge exactly
+(``EngineConfig(trial_shards=8)``, or ``plan.shard(n)`` merged through a
+:class:`~repro.core.results.ResultAccumulator`); the merged result is
+bit-identical to the monolithic run for any shard count.
+:meth:`AggregateRiskEngine.run_sharded` extends the same loop out-of-core:
+pointed at a :class:`~repro.yet.io.YetShardReader`, it prices a stored YET
+larger than RAM with resident memory bounded by one shard plus the
+accumulated year-loss blocks.
+
 The pre-plan per-backend ``run`` dispatch (the former ``"legacy"`` execution
 mode) was kept one release behind the plan-vs-legacy conformance suite and
 has been removed as scheduled; requesting that mode on
@@ -72,12 +82,14 @@ from repro.core.config import BACKEND_NAMES, EngineConfig
 from repro.core.gpu_sim import GPUSimulatedEngine
 from repro.core.multicore import MulticoreEngine
 from repro.core.plan import ExecutionPlan, PlanBuilder
-from repro.core.results import EngineResult
+from repro.core.results import EngineResult, ResultAccumulator
 from repro.core.sequential import SequentialEngine
 from repro.core.vectorized import VectorizedEngine
 from repro.financial.terms import LayerTerms, LayerTermsVectors
+from repro.parallel.device import WorkloadShape
 from repro.portfolio.layer import Layer
 from repro.portfolio.program import ReinsuranceProgram
+from repro.utils.timing import Timer
 from repro.yet.table import YearEventTable
 
 __all__ = ["AggregateRiskEngine", "available_backends"]
@@ -133,6 +145,93 @@ class AggregateRiskEngine:
     def year_loss_table(self, program: ReinsuranceProgram | Layer, yet: YearEventTable):
         """Run the analysis and return only the Year Loss Table."""
         return self.run(program, yet).ylt
+
+    def run_sharded(
+        self,
+        program: ReinsuranceProgram | Layer,
+        source,
+        n_shards: int = 0,
+        max_shard_bytes: int | None = None,
+    ) -> EngineResult:
+        """Price a program trial shard by trial shard and merge exactly.
+
+        ``source`` is either an in-memory
+        :class:`~repro.yet.table.YearEventTable` — equivalent to ``run`` with
+        ``n_shards`` trial shards, and bit-identical to it — or an
+        out-of-core :class:`~repro.yet.io.YetShardReader`, whose event
+        columns are memory-mapped and materialised one shard at a time: the
+        resident working set is one shard's YET plus the fused loss stack
+        plus the accumulated year-loss blocks, however large the stored
+        table is.  ``max_shard_bytes`` (readers only) picks the shard count
+        from a per-shard byte budget instead.
+
+        Per-trial reductions are trial-local, so the merged result is
+        bit-identical to a monolithic run of the same table for *any* shard
+        count — the engine-level form of the paper's YET partitioning.
+        """
+        program = ReinsuranceProgram.wrap(program)
+        config = self.config
+        if isinstance(source, YearEventTable):
+            if max_shard_bytes is not None:
+                per_event = 8 + (8 if source.timestamps is not None else 0)
+                if max_shard_bytes <= 0:
+                    raise ValueError(
+                        f"max_shard_bytes must be positive, got {max_shard_bytes}"
+                    )
+                n_shards = max(
+                    1, -(-(source.n_occurrences * per_event) // max_shard_bytes)
+                )
+            plan = PlanBuilder.from_program(
+                program, source, n_shards=n_shards or config.trial_shards
+            )
+            return self.run_plan(plan)
+
+        if not hasattr(source, "iter_shards"):
+            raise TypeError(
+                "source must be a YearEventTable or a shard reader exposing "
+                f"iter_shards(), got {type(source).__name__}"
+            )
+        if max_shard_bytes is not None:
+            n_shards = source.shard_count_for_budget(max_shard_bytes)
+        count = max(n_shards or config.trial_shards, 1)
+
+        wall = Timer().start()
+        accumulator = ResultAccumulator(
+            program.n_layers, source.n_trials, row_names=program.layer_names
+        )
+        shared_stack: np.ndarray | None = None
+        shards_run = 0
+        for trials, shard_yet in source.iter_shards(count):
+            shard_plan = PlanBuilder.from_program(program, shard_yet)
+            if shared_stack is not None:
+                shard_plan.adopt_stack(shared_stack)
+            result = self.run_plan(shard_plan)
+            if shared_stack is None:
+                # Fused backends build the stack pricing the first shard;
+                # later shard plans adopt it instead of rebuilding (the
+                # reference backends never build one — nothing to share).
+                shared_stack = shard_plan.cached_stack
+            accumulator.add_result(result, trials)
+            shards_run += 1
+
+        shape = WorkloadShape(
+            n_trials=source.n_trials,
+            events_per_trial=max(source.mean_events_per_trial, 1e-9),
+            n_elts=max(int(round(program.mean_elts_per_layer)), 1),
+            n_layers=program.n_layers,
+        )
+        return accumulator.finalize(
+            self.backend_name,
+            wall_seconds=wall.stop(),
+            workload_shape=shape,
+            details={
+                "sharded": {"n_shards": shards_run, "source": "reader"},
+                "merged_shards": {
+                    "n_shards": shards_run,
+                    "n_trials": source.n_trials,
+                },
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # Warm-engine lifecycle (used by the RiskService)
@@ -202,6 +301,7 @@ class AggregateRiskEngine:
         terms: Sequence[LayerTerms] | LayerTermsVectors,
         yet: YearEventTable,
         layer_names: Sequence[str] | None = None,
+        n_shards: int = 0,
     ) -> EngineResult:
         """Price precomputed term-netted stack rows over one YET.
 
@@ -218,9 +318,12 @@ class AggregateRiskEngine:
         The workload lowers to a synthetic :class:`ExecutionPlan` (no source
         layers), so it is supported by the backends with a fused path —
         vectorized, chunked and multicore; the sequential and gpu reference
-        backends raise ``ValueError``.
+        backends raise ``ValueError``.  ``n_shards`` executes the plan as
+        that many exactly-merged trial shards (``0`` = the config default).
         """
-        plan = PlanBuilder.from_stack(stack, terms, yet, row_names=layer_names)
+        plan = PlanBuilder.from_stack(
+            stack, terms, yet, row_names=layer_names, n_shards=n_shards
+        )
         return self.run_plan(plan)
 
     # ------------------------------------------------------------------ #

@@ -80,10 +80,11 @@ class GPUSimulatedEngine:
         """Execute an :class:`~repro.core.plan.ExecutionPlan` tile by tile.
 
         The plan's iteration space maps directly onto the device model: one
-        simulated CUDA block is one :class:`~repro.parallel.partitioner.Tile`
-        of ``threads_per_block`` trials x 1 row, and
-        :meth:`ExecutionPlan.tiles` emits them row-major — the launch order
-        of the paper's per-layer kernel loop.  Synthetic plans (precomputed
+        simulated CUDA block is ``threads_per_block`` trials x 1 row, in
+        the launch order of the paper's per-layer kernel loop.  The plan is
+        executed shard by shard like every backend (each shard launches its
+        own block grid); per-trial results are trial-local, so the shard and
+        block decomposition never moves a bit.  Synthetic plans (precomputed
         stack rows without source layers) are not supported by the device
         model.
         """
@@ -93,32 +94,37 @@ class GPUSimulatedEngine:
                 "use one of the fused backends (vectorized, chunked, multicore)"
             )
         from repro.core.plan import finalize_plan_result
+        from repro.core.results import PartialResult, ResultAccumulator
+        from repro.parallel.partitioner import chunk_partition
 
         config = self.config
         kernel_config = self.kernel_config()
         timer = PhaseTimer(enabled=config.record_phases)
         wall = Timer().start()
         yet = plan.yet
-
-        losses = np.zeros((plan.n_rows, plan.n_trials), dtype=np.float64)
-        max_occ = (
-            np.zeros((plan.n_rows, plan.n_trials), dtype=np.float64)
-            if config.record_max_occurrence
-            else None
-        )
         threads = config.threads_per_block
-        for tile in plan.tiles(trial_block=threads, row_block=1):
-            row = tile.rows.start
-            lo = int(yet.trial_offsets[tile.trials.start])
-            hi = int(yet.trial_offsets[tile.trials.stop])
-            event_ids = yet.event_ids[lo:hi]
-            offsets = yet.trial_offsets[tile.trials.start : tile.trials.stop + 1] - lo
-            year_losses, trial_max = _launch_block(
-                plan.layers[row], event_ids, offsets, config, timer
+
+        shards = plan.shard_ranges(plan.n_shards or config.trial_shards)
+        accumulator = ResultAccumulator.for_plan(plan)
+        for trials in shards:
+            losses = np.zeros((plan.n_rows, trials.size), dtype=np.float64)
+            max_occ = (
+                np.zeros((plan.n_rows, trials.size), dtype=np.float64)
+                if config.record_max_occurrence
+                else None
             )
-            losses[row, tile.trials.start : tile.trials.stop] = year_losses
-            if max_occ is not None and trial_max is not None:
-                max_occ[row, tile.trials.start : tile.trials.stop] = trial_max
+            for row in range(plan.n_rows):
+                for block in chunk_partition(trials.size, threads):
+                    start = trials.start + block.start
+                    stop = trials.start + block.stop
+                    event_ids, offsets = yet.trial_window(start, stop)
+                    year_losses, trial_max = _launch_block(
+                        plan.layers[row], event_ids, offsets, config, timer
+                    )
+                    losses[row, block.start : block.stop] = year_losses
+                    if max_occ is not None and trial_max is not None:
+                        max_occ[row, block.start : block.stop] = trial_max
+            accumulator.add(PartialResult(trials, losses, max_occ))
 
         estimates: List[KernelEstimate] = [
             self.device.estimate(
@@ -135,8 +141,8 @@ class GPUSimulatedEngine:
         return finalize_plan_result(
             plan,
             self.name,
-            losses,
-            max_occ,
+            accumulator.year_losses(),
+            accumulator.max_occurrence_losses(),
             wall.stop(),
             {
                 "threads_per_block": config.threads_per_block,
@@ -144,6 +150,7 @@ class GPUSimulatedEngine:
                 "optimised": config.gpu_optimised,
                 "device": self.device.spec.name,
                 "fused_layers": False,
+                "trial_shards": len(shards),
             },
             phase_breakdown=timer.breakdown() if config.record_phases else None,
             modeled=tuple(estimates),

@@ -213,14 +213,15 @@ def layer_trial_losses_batch(
         Per-layer :class:`LayerTerms` (or an already-stacked
         :class:`LayerTermsVectors`).
     chunk_events:
-        When given, the stream is processed in chunks of this many event
-        occurrences with per-trial reductions accumulated chunk by chunk, so
-        the working set stays bounded at ``(n_layers, chunk_events)`` doubles
-        plus the outputs (the fused analogue of
-        :func:`layer_trial_losses_chunked`).  Chunked accumulation sums each
-        trial from per-chunk partials, so totals can differ from the
-        unchunked gather in the last couple of bits (well inside 1e-9
-        relative); only the shortcut aggregate pass supports it
+        When given, the stream is processed in trial-aligned chunks of about
+        this many event occurrences, so the working set stays bounded at
+        roughly ``(n_layers, chunk_events)`` doubles plus the outputs (the
+        fused analogue of :func:`layer_trial_losses_chunked`).  Chunks are
+        cut at trial boundaries only — no trial ever straddles a chunk — so
+        every per-trial reduction happens inside one chunk and the streamed
+        result is *bit-identical* to the unchunked gather for any chunk size
+        (a single trial larger than ``chunk_events`` is processed whole).
+        Only the shortcut aggregate pass supports streaming
         (``use_shortcut=False`` with ``chunk_events`` raises).
     stack:
         Optional precomputed :func:`build_layer_loss_stack` result; pass it
@@ -316,12 +317,15 @@ def _layer_trial_losses_batch_streamed(
     timer: PhaseTimer,
     row_map: np.ndarray | None = None,
 ) -> Tuple[np.ndarray, np.ndarray | None]:
-    """Bounded-memory fused pass: accumulate per-trial reductions per chunk.
+    """Bounded-memory fused pass over trial-aligned event chunks.
 
-    Trials may straddle chunk boundaries, so per-trial occurrence totals are
-    summed from per-chunk partial segment sums (and maxima merged with
-    ``np.maximum``); the aggregate terms are applied once at the end on the
-    accumulated totals.
+    Each chunk is the longest run of *whole* trials whose events fit in
+    ``chunk_events`` (always at least one trial, so an oversized trial is
+    processed whole rather than split).  Because no trial straddles a chunk,
+    every per-trial reduction happens entirely inside one chunk and the
+    streamed result is bit-identical to the unchunked gather — the property
+    that lets trial shards of the chunked backend merge exactly, regardless
+    of where the shard (and hence the chunk grid) boundaries fall.
     """
     offsets = validate_offsets(np.asarray(trial_offsets), ids.shape[0])
     n_layers = vectors.n_layers
@@ -333,27 +337,24 @@ def _layer_trial_losses_batch_streamed(
         else None
     )
 
-    total_events = ids.shape[0]
-    for start in range(0, total_events, chunk_events):
-        stop = min(start + chunk_events, total_events)
+    t0 = 0
+    while t0 < n_trials:
+        # Furthest trial whose last event still fits in the chunk budget
+        # (but at least one trial, to guarantee progress).
+        t1 = int(np.searchsorted(offsets, offsets[t0] + chunk_events, side="right")) - 1
+        t1 = min(max(t1, t0 + 1), n_trials)
+        start, stop = int(offsets[t0]), int(offsets[t1])
         with timer.phase(PHASE_ELT_LOOKUP):
             gathered = stack[:, ids[start:stop]]
             if row_map is not None:
                 gathered = gathered[row_map]
         with timer.phase(PHASE_LAYER_TERMS):
             occurrence = apply_occurrence_terms_batch(gathered, vectors, out=gathered)
-            # Trials overlapping [start, stop): first trial containing the
-            # chunk's first event through the last trial with an event in it.
-            t0 = int(np.searchsorted(offsets, start, side="right")) - 1
-            t1 = int(np.searchsorted(offsets, stop, side="left"))
-            local = np.clip(offsets[t0 : t1 + 1] - start, 0, stop - start)
-            totals[:, t0:t1] += segment_sum_2d(occurrence, local)
+            local = offsets[t0 : t1 + 1] - start
+            totals[:, t0:t1] = segment_sum_2d(occurrence, local)
             if max_occurrence is not None:
-                np.maximum(
-                    max_occurrence[:, t0:t1],
-                    segment_max_2d(occurrence, local),
-                    out=max_occurrence[:, t0:t1],
-                )
+                max_occurrence[:, t0:t1] = segment_max_2d(occurrence, local)
+        t0 = t1
 
     with timer.phase(PHASE_LAYER_TERMS):
         year_losses = clip_aggregate_totals(totals, vectors)

@@ -48,7 +48,7 @@ import numpy as np
 from repro.core.config import EngineConfig
 from repro.core.kernels import layer_trial_losses, layer_trial_losses_batch
 from repro.core.plan import ExecutionPlan, finalize_plan_result
-from repro.core.results import EngineResult
+from repro.core.results import EngineResult, PartialResult, ResultAccumulator
 from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.elt.combined import LayerLossMatrix
 from repro.parallel.executor import ParallelConfig, TrialBlockExecutor
@@ -263,13 +263,24 @@ class MulticoreEngine:
     # Plan scheduler
     # ------------------------------------------------------------------ #
     def run_plan(self, plan: ExecutionPlan) -> EngineResult:
-        """Execute an :class:`~repro.core.plan.ExecutionPlan` across workers."""
+        """Execute an :class:`~repro.core.plan.ExecutionPlan` across workers.
+
+        The plan's trial shards are each decomposed into the configured
+        worker schedule; all blocks of all shards run through one pool, and
+        every block's result is accumulated as a
+        :class:`~repro.core.results.PartialResult` (a worker block *is* a
+        trial shard — disjoint by construction), so the assembled result is
+        bit-identical for any worker count, scheduling policy or shard
+        count.
+        """
         config = self.config
         wall = Timer().start()
 
         fused = config.fused_layers or not plan.has_layers
         use_shm = fused and self._uses_shared_memory()
         parallel_config = self._parallel_config()
+
+        shards = plan.shard_ranges(plan.n_shards or config.trial_shards)
 
         workspace: SharedWorkspace | None = None
         owns_workspace = False
@@ -319,9 +330,18 @@ class MulticoreEngine:
                 )
                 executor = TrialBlockExecutor(parallel_config, context=context)
 
-            schedule = executor.schedule_for(plan.n_trials)
+            # Each shard is decomposed into the configured worker schedule;
+            # the flattened block list runs through one pool (one worker
+            # start-up for the whole plan, however many shards it has).
+            blocks: List[TrialRange] = []
+            for trials in shards:
+                schedule = executor.schedule_for(trials.size)
+                blocks.extend(
+                    TrialRange(trials.start + block.start, trials.start + block.stop)
+                    for block in schedule.blocks
+                )
             block_results: List[tuple[int, np.ndarray, np.ndarray | None]] = executor.run(
-                _analyse_block, work_items=list(schedule.blocks)
+                _analyse_block, work_items=blocks
             )
         finally:
             # A worker dying mid-block must not leak the shared segments:
@@ -331,39 +351,30 @@ class MulticoreEngine:
             if workspace is not None and owns_workspace:
                 workspace.close()
 
-        losses, max_occ = _assemble_blocks(
-            block_results, plan.n_rows, plan.n_trials, config.record_max_occurrence
-        )
+        accumulator = ResultAccumulator.for_plan(plan)
+        for start, block_losses, block_max in block_results:
+            accumulator.add(
+                PartialResult(
+                    TrialRange(start, start + block_losses.shape[1]),
+                    block_losses,
+                    block_max,
+                )
+            )
         details: Dict[str, Any] = {
             "n_workers": config.n_workers,
             "scheduling": str(config.scheduling),
             "oversubscription": config.oversubscription,
-            "n_blocks": schedule.n_blocks,
+            "n_blocks": len(blocks),
             "fused_layers": fused,
             "shared_memory": use_shm,
             "workspace_reused": workspace_reused,
+            "trial_shards": len(shards),
         }
         return finalize_plan_result(
-            plan, self.name, losses, max_occ, wall.stop(), details
+            plan,
+            self.name,
+            accumulator.year_losses(),
+            accumulator.max_occurrence_losses(),
+            wall.stop(),
+            details,
         )
-
-
-def _assemble_blocks(
-    block_results: Sequence[tuple[int, np.ndarray, np.ndarray | None]],
-    n_rows: int,
-    n_trials: int,
-    record_max_occurrence: bool,
-) -> tuple[np.ndarray, np.ndarray | None]:
-    """Stitch the per-block worker results back into full output tables."""
-    losses = np.zeros((n_rows, n_trials), dtype=np.float64)
-    max_occ = (
-        np.zeros((n_rows, n_trials), dtype=np.float64)
-        if record_max_occurrence
-        else None
-    )
-    for start, block_losses, block_max in block_results:
-        size = block_losses.shape[1]
-        losses[:, start : start + size] = block_losses
-        if max_occ is not None and block_max is not None:
-            max_occ[:, start : start + size] = block_max
-    return losses, max_occ

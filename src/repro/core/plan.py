@@ -50,7 +50,7 @@ from repro.core.kernels import build_layer_loss_stack
 from repro.core.results import EngineResult
 from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.parallel.device import WorkloadShape
-from repro.parallel.partitioner import Tile, tile_partition
+from repro.parallel.partitioner import Tile, TrialRange, shard_partition, tile_partition
 from repro.portfolio.layer import Layer
 from repro.portfolio.program import ReinsuranceProgram
 from repro.utils.timing import PhaseTimer
@@ -116,6 +116,18 @@ class ExecutionPlan:
         ``"batch"``, ``"stacked"``, ``"sweep"``).
     mean_elts_per_row:
         Average ELT count per row, carried into the result's workload shape.
+    trial_range:
+        Optional restriction of the plan to a contiguous, non-empty range of
+        the YET's trials — the shard-restricted form emitted by
+        :meth:`shard`.  ``None`` (the default) covers every trial.  A
+        restricted plan executes like any other; its result simply carries
+        the shard's columns (and records the range in
+        ``details["plan"]["trial_range"]`` so a
+        :class:`~repro.core.results.ResultAccumulator` can place them).
+    n_shards:
+        Shard count the schedulers should execute this plan with (``0`` =
+        defer to ``EngineConfig.trial_shards``).  Shard-restricted children
+        are created with ``n_shards=1`` so they never re-shard themselves.
     """
 
     def __init__(
@@ -130,6 +142,8 @@ class ExecutionPlan:
         segments: Sequence[PlanSegment] | None = None,
         source: str = "program",
         mean_elts_per_row: float = 1.0,
+        trial_range: TrialRange | None = None,
+        n_shards: int = 0,
     ) -> None:
         self.yet = yet
         self.terms = (
@@ -199,6 +213,22 @@ class ExecutionPlan:
         self.source = str(source)
         self.mean_elts_per_row = float(mean_elts_per_row)
 
+        if trial_range is not None:
+            if not 0 <= trial_range.start <= trial_range.stop <= yet.n_trials:
+                raise ValueError(
+                    f"trial range [{trial_range.start}, {trial_range.stop}) outside "
+                    f"the YET's [0, {yet.n_trials})"
+                )
+            if trial_range.size == 0:
+                raise ValueError("a shard-restricted plan needs at least one trial")
+        self.trial_range = trial_range
+        if n_shards < 0:
+            raise ValueError(f"n_shards must be non-negative, got {n_shards}")
+        self.n_shards = int(n_shards)
+        # Shard-restricted children delegate lazy stack building to their
+        # parent so a sharded execution builds (and caches) the stack once.
+        self._stack_owner: "ExecutionPlan | None" = None
+
     # ------------------------------------------------------------------ #
     # Shape accessors
     # ------------------------------------------------------------------ #
@@ -215,9 +245,16 @@ class ExecutionPlan:
         return int(np.unique(self.row_map).size)
 
     @property
+    def trials(self) -> TrialRange:
+        """The (global) trial range the plan covers — the whole YET unless restricted."""
+        if self.trial_range is not None:
+            return self.trial_range
+        return TrialRange(0, self.yet.n_trials)
+
+    @property
     def n_trials(self) -> int:
-        """Number of YET trials."""
-        return self.yet.n_trials
+        """Number of trials the plan covers."""
+        return self.trials.size
 
     @property
     def catalog_size(self) -> int:
@@ -248,9 +285,13 @@ class ExecutionPlan:
 
         Built lazily from the unique layers' dense matrices and cached on
         the plan, so repeated executions (conformance runs, backend sweeps)
-        pay the build once.
+        pay the build once.  Shard-restricted children delegate to the plan
+        they were split from, so a sharded execution also builds it once.
         """
         if self._stack is None:
+            if self._stack_owner is not None:
+                self._stack = self._stack_owner.stack(timer)
+                return self._stack
             if self.row_map is None:
                 matrices = [layer.loss_matrix() for layer in self.layers]
             else:
@@ -263,11 +304,94 @@ class ExecutionPlan:
             self._stack = build_layer_loss_stack(matrices, timer)
         return self._stack
 
+    def adopt_stack(self, stack: np.ndarray) -> None:
+        """Install a precomputed stack (validated like the constructor's).
+
+        Lets repeated lowerings over the *same* rows — above all the
+        per-shard plans of :meth:`~repro.core.engine.AggregateRiskEngine.run_sharded`
+        — share one stack instead of rebuilding ``n_rows x catalog_size``
+        doubles per shard.
+        """
+        stack = np.ascontiguousarray(stack, dtype=np.float64)
+        if stack.ndim != 2:
+            raise ValueError(f"stack must be 2-D, got shape {stack.shape}")
+        expected = (
+            self.n_rows if self.row_map is None else int(self.row_map.max(initial=-1)) + 1
+        )
+        if stack.shape[0] < expected:
+            raise ValueError(
+                f"stack has {stack.shape[0]} rows but the plan addresses {expected}"
+            )
+        self._stack = stack
+
+    @property
+    def cached_stack(self) -> np.ndarray | None:
+        """The stack if it has been built/adopted already (``None`` otherwise)."""
+        return self._stack
+
     def tiles(
         self, trial_block: int | None = None, row_block: int | None = None
     ) -> List[Tile]:
         """The plan's iteration space split into (trial x row) tiles."""
         return tile_partition(self.n_trials, self.n_rows, trial_block, row_block)
+
+    # ------------------------------------------------------------------ #
+    # Trial sharding
+    # ------------------------------------------------------------------ #
+    def restrict(self, trials: TrialRange) -> "ExecutionPlan":
+        """A shard of this plan covering only ``trials`` (globally indexed).
+
+        The child shares the parent's YET, terms, layers, row map and (lazy)
+        stack cache — restricting is metadata, not data movement.  Executing
+        every shard of a disjoint cover and accumulating the partial results
+        reproduces the monolithic run bit for bit.
+        """
+        if not self.trials.start <= trials.start <= trials.stop <= self.trials.stop:
+            raise ValueError(
+                f"shard range [{trials.start}, {trials.stop}) outside the plan's "
+                f"[{self.trials.start}, {self.trials.stop})"
+            )
+        child = ExecutionPlan(
+            self.yet,
+            self.terms,
+            layers=self.layers,
+            stack=self._stack,
+            row_map=self.row_map,
+            row_names=self.row_names,
+            segments=self.segments,
+            source=self.source,
+            mean_elts_per_row=self.mean_elts_per_row,
+            trial_range=trials,
+            n_shards=1,
+        )
+        child._stack_owner = self
+        return child
+
+    def shard(self, n_shards: int) -> List["ExecutionPlan"]:
+        """Split the plan into at most ``n_shards`` shard-restricted plans.
+
+        The shards are contiguous, disjoint, non-empty and cover the plan's
+        trial range in order (:func:`~repro.parallel.partitioner.shard_partition`).
+        They can be executed by any backend, in any order, on any process;
+        merge their results through a
+        :class:`~repro.core.results.ResultAccumulator`.
+        """
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        return [self.restrict(trials) for trials in self.shard_ranges(n_shards)]
+
+    def shard_ranges(self, n_shards: int) -> List[TrialRange]:
+        """The global trial ranges a shard loop over this plan iterates.
+
+        At most ``n_shards`` contiguous non-empty ranges (one range covering
+        everything when ``n_shards <= 1``); schedulers call this with
+        ``plan.n_shards or config.trial_shards``.
+        """
+        base = self.trials.start
+        return [
+            TrialRange(base + local.start, base + local.stop)
+            for local in shard_partition(self.n_trials, max(int(n_shards), 1))
+        ]
 
     # ------------------------------------------------------------------ #
     # Result splitting
@@ -294,9 +418,16 @@ class PlanBuilder:
 
     @staticmethod
     def from_program(
-        program: ReinsuranceProgram | Layer, yet: YearEventTable
+        program: ReinsuranceProgram | Layer,
+        yet: YearEventTable,
+        n_shards: int = 0,
     ) -> ExecutionPlan:
-        """Lower ``run``: one row per layer of one program, one segment."""
+        """Lower ``run``: one row per layer of one program, one segment.
+
+        ``n_shards`` asks the scheduler to execute the plan as that many
+        trial shards (``0`` = defer to ``EngineConfig.trial_shards``); the
+        merged result is bit-identical either way.
+        """
         program = ReinsuranceProgram.wrap(program)
         return ExecutionPlan(
             yet,
@@ -305,6 +436,7 @@ class PlanBuilder:
             row_names=program.layer_names,
             source="program",
             mean_elts_per_row=program.mean_elts_per_layer,
+            n_shards=n_shards,
         )
 
     @staticmethod
@@ -313,6 +445,7 @@ class PlanBuilder:
         yet: YearEventTable,
         dedupe: bool = True,
         source: str = "batch",
+        n_shards: int = 0,
     ) -> ExecutionPlan:
         """Lower ``run_many``/sweep blocks: concatenated rows, one segment each.
 
@@ -371,6 +504,7 @@ class PlanBuilder:
             segments=segments,
             source=source,
             mean_elts_per_row=mean_elts,
+            n_shards=n_shards,
         )
 
     @staticmethod
@@ -379,6 +513,7 @@ class PlanBuilder:
         terms: Sequence[LayerTerms] | LayerTermsVectors,
         yet: YearEventTable,
         row_names: Sequence[str] | None = None,
+        n_shards: int = 0,
     ) -> ExecutionPlan:
         """Lower ``run_stacked``: synthetic precomputed rows, no source layers."""
         return ExecutionPlan(
@@ -387,6 +522,7 @@ class PlanBuilder:
             stack=stack,
             row_names=row_names,
             source="stacked",
+            n_shards=n_shards,
         )
 
 
@@ -414,6 +550,7 @@ def finalize_plan_result(
         "n_rows": plan.n_rows,
         "n_unique_rows": plan.n_unique_rows,
         "n_segments": len(plan.segments),
+        "trial_range": [plan.trials.start, plan.trials.stop],
     }
     return EngineResult(
         ylt=YearLossTable(losses, plan.row_names, max_occurrence),

@@ -1,15 +1,39 @@
-"""Engine result container."""
+"""Engine result containers and the mergeable partial-result algebra.
+
+The paper scales the aggregate analysis by partitioning the Year Event Table
+over trials (its map step); this module supplies the matching *reduce* step:
+
+* :class:`EngineResult` — the monolithic output of one run (unchanged shape);
+* :class:`PartialResult` — the year-loss block of one disjoint trial shard;
+* :class:`ResultAccumulator` — collects partials (in any order, from any
+  process) and reassembles the monolithic result *exactly*: trial shards are
+  disjoint and every per-trial reduction in the kernels is trial-local, so
+  merging is pure column placement — no arithmetic — and the merged output
+  is bit-identical to a monolithic run of the same plan;
+* :class:`MetricState` — the small mergeable summary (count / sum / sum of
+  squares / max per layer row) that streaming consumers can keep without the
+  blocks.
+
+Every backend's plan scheduler is written in shard-loop + accumulate form on
+top of these types, which is what makes ``EngineConfig.trial_shards``,
+``plan.shard(n)`` and the out-of-core
+:meth:`~repro.core.engine.AggregateRiskEngine.run_sharded` path one
+mechanism rather than three.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterator, List, Mapping, Sequence
+
+import numpy as np
 
 from repro.parallel.device import KernelEstimate, WorkloadShape
+from repro.parallel.partitioner import TrialRange
 from repro.utils.timing import TimingBreakdown
 from repro.ylt.table import YearLossTable
 
-__all__ = ["EngineResult"]
+__all__ = ["EngineResult", "MetricState", "PartialResult", "ResultAccumulator"]
 
 
 @dataclass(frozen=True)
@@ -127,3 +151,392 @@ class EngineResult:
         if self.modeled_seconds is not None:
             text += f" modeled={self.modeled_seconds:.3f}s"
         return text
+
+
+@dataclass(frozen=True)
+class MetricState:
+    """Mergeable per-layer summary statistics of accumulated year losses.
+
+    The state a streaming consumer can keep when the blocks themselves are
+    discarded: per layer row, the trial count, the sum and sum of squares of
+    the year losses, and the largest year loss.  Merging two states over
+    disjoint shards is exact for ``n_trials`` and ``max_loss`` and adds the
+    (deterministically accumulated) sums; quantile metrics (PML, TVaR) need
+    the actual blocks — see
+    :func:`~repro.ylt.metrics.compute_risk_metrics_from_blocks`.
+    """
+
+    n_trials: int
+    total: np.ndarray
+    total_sq: np.ndarray
+    max_loss: np.ndarray
+
+    @classmethod
+    def from_losses(cls, losses: np.ndarray) -> "MetricState":
+        """The state of one ``(n_rows, n_trials)`` year-loss block."""
+        block = np.asarray(losses, dtype=np.float64)
+        if block.ndim != 2:
+            raise ValueError(f"losses must be 2-D, got shape {block.shape}")
+        if block.shape[1] == 0:
+            zeros = np.zeros(block.shape[0], dtype=np.float64)
+            return cls(0, zeros, zeros.copy(), zeros.copy())
+        return cls(
+            n_trials=int(block.shape[1]),
+            total=block.sum(axis=1),
+            total_sq=(block * block).sum(axis=1),
+            max_loss=block.max(axis=1),
+        )
+
+    def merge(self, other: "MetricState") -> "MetricState":
+        """The state of the union of two disjoint shards."""
+        if self.total.shape != other.total.shape:
+            raise ValueError(
+                f"cannot merge metric states over {self.total.shape[0]} and "
+                f"{other.total.shape[0]} rows"
+            )
+        return MetricState(
+            n_trials=self.n_trials + other.n_trials,
+            total=self.total + other.total,
+            total_sq=self.total_sq + other.total_sq,
+            max_loss=np.maximum(self.max_loss, other.max_loss),
+        )
+
+    def mean(self) -> np.ndarray:
+        """Per-row mean year loss (the AAL) over the accumulated trials."""
+        if self.n_trials == 0:
+            raise ValueError("no trials accumulated")
+        return self.total / self.n_trials
+
+    def std(self, ddof: int = 1) -> np.ndarray:
+        """Per-row standard deviation of the accumulated year losses."""
+        if self.n_trials <= ddof:
+            return np.zeros_like(self.total)
+        mean = self.mean()
+        variance = (self.total_sq - self.n_trials * mean * mean) / (self.n_trials - ddof)
+        return np.sqrt(np.maximum(variance, 0.0))
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """The year-loss block of one trial shard.
+
+    Attributes
+    ----------
+    trials:
+        The (globally indexed) trial range the block covers.
+    losses:
+        ``(n_rows, trials.size)`` year losses — the shard's columns of the
+        monolithic Year Loss Table, bit for bit.
+    max_occurrence:
+        Matching per-trial maximum occurrence losses, or ``None`` when the
+        run did not record them.
+    details:
+        Free-form provenance (e.g. which worker or process produced it).
+    """
+
+    trials: TrialRange
+    losses: np.ndarray
+    max_occurrence: np.ndarray | None = None
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        losses = np.asarray(self.losses, dtype=np.float64)
+        if losses.ndim != 2:
+            raise ValueError(f"losses must be 2-D (n_rows, n_trials), got shape {losses.shape}")
+        if losses.shape[1] != self.trials.size:
+            raise ValueError(
+                f"losses cover {losses.shape[1]} trials but the range "
+                f"[{self.trials.start}, {self.trials.stop}) holds {self.trials.size}"
+            )
+        object.__setattr__(self, "losses", losses)
+        if self.max_occurrence is not None:
+            occ = np.asarray(self.max_occurrence, dtype=np.float64)
+            if occ.shape != losses.shape:
+                raise ValueError(
+                    f"max_occurrence shape {occ.shape} does not match losses "
+                    f"shape {losses.shape}"
+                )
+            object.__setattr__(self, "max_occurrence", occ)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of layer rows in the block."""
+        return int(self.losses.shape[0])
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials the block covers."""
+        return self.trials.size
+
+    @classmethod
+    def from_result(
+        cls, result: EngineResult, trials: TrialRange | None = None
+    ) -> "PartialResult":
+        """Wrap a shard-restricted run's :class:`EngineResult` as a partial.
+
+        ``trials`` defaults to the plan trial range the schedulers record in
+        ``result.details["plan"]["trial_range"]`` — the global coordinates of
+        a plan produced by :meth:`~repro.core.plan.ExecutionPlan.shard`.
+        """
+        if trials is None:
+            plan_details = result.details.get("plan") if result.details else None
+            recorded = plan_details.get("trial_range") if plan_details else None
+            if recorded is None:
+                raise ValueError(
+                    "result does not record a plan trial range; pass trials explicitly"
+                )
+            trials = TrialRange(int(recorded[0]), int(recorded[1]))
+        return cls(
+            trials=trials,
+            losses=result.ylt.losses,
+            max_occurrence=result.ylt.max_occurrence_losses,
+            details={"backend": result.backend, "wall_seconds": result.wall_seconds},
+        )
+
+
+class ResultAccumulator:
+    """Exact reduction of disjoint trial-shard partials into one result.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of layer rows every partial must carry.
+    trials:
+        The full trial domain being covered — a :class:`TrialRange`, or an
+        ``int`` shorthand for ``[0, n)``.
+    row_names:
+        Layer names of the assembled Year Loss Table (optional).
+
+    Partials may arrive in any order (shards complete out of order under
+    dynamic scheduling, and distributed callers merge whole accumulators);
+    overlapping ranges are rejected at :meth:`add` time.  Because the
+    kernels' per-trial reductions are trial-local, reassembly is pure column
+    placement and the merged result is bit-identical to a monolithic run —
+    the invariant the sharded conformance suite pins down.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        trials: TrialRange | int,
+        row_names: Sequence[str] | None = None,
+    ) -> None:
+        if n_rows <= 0:
+            raise ValueError(f"n_rows must be positive, got {n_rows}")
+        self.n_rows = int(n_rows)
+        self.trials = TrialRange(0, int(trials)) if isinstance(trials, int) else trials
+        self.row_names: tuple[str, ...] | None = (
+            tuple(str(name) for name in row_names) if row_names is not None else None
+        )
+        self._partials: List[PartialResult] = []
+        self._wall_seconds = 0.0
+
+    @classmethod
+    def for_plan(cls, plan) -> "ResultAccumulator":
+        """An accumulator spanning an :class:`~repro.core.plan.ExecutionPlan`."""
+        return cls(plan.n_rows, plan.trials, row_names=plan.row_names)
+
+    # ------------------------------------------------------------------ #
+    # Accumulation
+    # ------------------------------------------------------------------ #
+    def add(self, partial: PartialResult) -> "ResultAccumulator":
+        """Add one shard block (any order; overlaps and misfits rejected)."""
+        if partial.n_rows != self.n_rows:
+            raise ValueError(
+                f"partial has {partial.n_rows} rows, accumulator expects {self.n_rows}"
+            )
+        if partial.trials.start < self.trials.start or partial.trials.stop > self.trials.stop:
+            raise ValueError(
+                f"partial range [{partial.trials.start}, {partial.trials.stop}) "
+                f"outside the accumulated domain [{self.trials.start}, {self.trials.stop})"
+            )
+        for existing in self._partials:
+            if (
+                partial.trials.start < existing.trials.stop
+                and existing.trials.start < partial.trials.stop
+            ):
+                raise ValueError(
+                    f"partial range [{partial.trials.start}, {partial.trials.stop}) "
+                    f"overlaps accumulated range "
+                    f"[{existing.trials.start}, {existing.trials.stop})"
+                )
+        self._partials.append(partial)
+        return self
+
+    def add_result(
+        self, result: EngineResult, trials: TrialRange | None = None
+    ) -> "ResultAccumulator":
+        """Add a shard-restricted run's result (see :meth:`PartialResult.from_result`)."""
+        self._wall_seconds += result.wall_seconds
+        return self.add(PartialResult.from_result(result, trials))
+
+    def merge(self, other: "ResultAccumulator") -> "ResultAccumulator":
+        """Fold another accumulator over the same domain into this one.
+
+        The merge is exact by construction: blocks are moved, never combined
+        arithmetically, so merging accumulators built on different processes
+        (or machines) yields the same bits as accumulating locally.
+        """
+        if other.n_rows != self.n_rows or other.trials != self.trials:
+            raise ValueError(
+                "can only merge accumulators over the same rows and trial domain"
+            )
+        for partial in other._partials:
+            self.add(partial)
+        self._wall_seconds += other._wall_seconds
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Coverage
+    # ------------------------------------------------------------------ #
+    @property
+    def covered_trials(self) -> int:
+        """Number of trials accumulated so far."""
+        return sum(partial.n_trials for partial in self._partials)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when the partials tile the whole trial domain."""
+        return self.covered_trials == self.trials.size
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall time of the results added via :meth:`add_result`."""
+        return self._wall_seconds
+
+    def missing_ranges(self) -> List[TrialRange]:
+        """The trial ranges no partial covers yet (empty when complete)."""
+        gaps: List[TrialRange] = []
+        cursor = self.trials.start
+        for partial in sorted(self._partials, key=lambda p: p.trials.start):
+            if partial.trials.start > cursor:
+                gaps.append(TrialRange(cursor, partial.trials.start))
+            cursor = partial.trials.stop
+        if cursor < self.trials.stop:
+            gaps.append(TrialRange(cursor, self.trials.stop))
+        return gaps
+
+    # ------------------------------------------------------------------ #
+    # Streaming views
+    # ------------------------------------------------------------------ #
+    def _ordered(self) -> List[PartialResult]:
+        return sorted(self._partials, key=lambda p: p.trials.start)
+
+    def layer_blocks(self, row: int) -> Iterator[np.ndarray]:
+        """One layer's year-loss blocks in trial order (views, not copies).
+
+        Feed these to the block-wise metric constructors
+        (:func:`~repro.ylt.metrics.compute_risk_metrics_from_blocks`,
+        :func:`~repro.ylt.ep_curve.aep_curve_from_blocks`) without ever
+        materialising the full per-trial vector in one array.
+        """
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range [0, {self.n_rows})")
+        for partial in self._ordered():
+            yield partial.losses[row]
+
+    def portfolio_blocks(self) -> Iterator[np.ndarray]:
+        """Per-trial portfolio losses (sum over rows) in trial order."""
+        for partial in self._ordered():
+            yield partial.losses.sum(axis=0)
+
+    def max_occurrence_blocks(self, row: int) -> Iterator[np.ndarray]:
+        """One layer's maximum-occurrence blocks in trial order (for OEP)."""
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range [0, {self.n_rows})")
+        for partial in self._ordered():
+            if partial.max_occurrence is None:
+                raise ValueError("an accumulated partial lacks maximum occurrence losses")
+            yield partial.max_occurrence[row]
+
+    def metric_state(self) -> MetricState:
+        """The mergeable summary state of everything accumulated so far.
+
+        Computed over the blocks in trial order, so the state is a pure
+        function of the accumulated partials — independent of the order they
+        were added or merged in.
+        """
+        state: MetricState | None = None
+        for partial in self._ordered():
+            block_state = MetricState.from_losses(partial.losses)
+            state = block_state if state is None else state.merge(block_state)
+        if state is None:
+            zeros = np.zeros(self.n_rows, dtype=np.float64)
+            return MetricState(0, zeros, zeros.copy(), zeros.copy())
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Assembly
+    # ------------------------------------------------------------------ #
+    def _require_complete(self) -> None:
+        if not self.is_complete:
+            gaps = ", ".join(f"[{g.start}, {g.stop})" for g in self.missing_ranges())
+            raise ValueError(f"accumulator is incomplete; missing trial ranges: {gaps}")
+
+    def year_losses(self) -> np.ndarray:
+        """The merged ``(n_rows, n_trials)`` year-loss table (exact)."""
+        self._require_complete()
+        if len(self._partials) == 1:
+            # A single block spanning the domain IS the merged table.
+            return self._partials[0].losses
+        losses = np.empty((self.n_rows, self.trials.size), dtype=np.float64)
+        base = self.trials.start
+        for partial in self._partials:
+            losses[:, partial.trials.start - base : partial.trials.stop - base] = (
+                partial.losses
+            )
+        return losses
+
+    def max_occurrence_losses(self) -> np.ndarray | None:
+        """The merged maximum-occurrence table (``None`` unless all blocks carry one)."""
+        self._require_complete()
+        if any(partial.max_occurrence is None for partial in self._partials):
+            return None
+        if len(self._partials) == 1:
+            return self._partials[0].max_occurrence
+        occ = np.empty((self.n_rows, self.trials.size), dtype=np.float64)
+        base = self.trials.start
+        for partial in self._partials:
+            occ[:, partial.trials.start - base : partial.trials.stop - base] = (
+                partial.max_occurrence
+            )
+        return occ
+
+    def to_ylt(self) -> YearLossTable:
+        """The merged Year Loss Table."""
+        return YearLossTable(self.year_losses(), self.row_names, self.max_occurrence_losses())
+
+    def finalize(
+        self,
+        backend: str,
+        wall_seconds: float | None = None,
+        workload_shape: WorkloadShape | None = None,
+        details: Mapping[str, Any] | None = None,
+        phase_breakdown: TimingBreakdown | None = None,
+    ) -> EngineResult:
+        """Assemble the merged :class:`EngineResult`.
+
+        ``wall_seconds`` defaults to the summed wall time of the results
+        added via :meth:`add_result`; ``workload_shape`` defaults to a shape
+        with the merged trial count and the accumulated row count.
+        """
+        merged = dict(details) if details else {}
+        merged.setdefault(
+            "merged_shards",
+            {"n_shards": len(self._partials), "n_trials": self.trials.size},
+        )
+        if workload_shape is None:
+            workload_shape = WorkloadShape(
+                n_trials=self.trials.size,
+                events_per_trial=1e-9,
+                n_elts=1,
+                n_layers=self.n_rows,
+            )
+        return EngineResult(
+            ylt=self.to_ylt(),
+            backend=backend,
+            wall_seconds=self._wall_seconds if wall_seconds is None else wall_seconds,
+            workload_shape=workload_shape,
+            phase_breakdown=phase_breakdown,
+            details=merged,
+        )

@@ -10,6 +10,12 @@ speedup figures are measured from.
 The backend also honours ``EngineConfig.elt_representation`` so the Section
 III-B data-structure discussion (direct access table vs binary search vs
 hashing) can be evaluated on the CPU.
+
+:meth:`SequentialEngine.run_plan` follows the same shard-loop + accumulate
+shape as the optimised backends (trials are analysed one at a time either
+way, so sharding is pure bookkeeping here) — which keeps the reference
+implementation a valid oracle for the sharded paths too: a per-(layer,
+trial) result depends on nothing outside its trial, trivially.
 """
 
 from __future__ import annotations
@@ -25,17 +31,14 @@ from repro.core.phases import (
     PHASE_FINANCIAL_TERMS,
     PHASE_LAYER_TERMS,
 )
-from repro.core.results import EngineResult
+from repro.core.plan import finalize_plan_result
+from repro.core.results import EngineResult, PartialResult, ResultAccumulator
 from repro.elt.direct_access import DirectAccessTable
 from repro.elt.hashed_table import HashedEventLossTable
 from repro.elt.sorted_table import SortedEventLossTable
 from repro.elt.table import EventLossTable, LossLookup
-from repro.parallel.device import WorkloadShape
-from repro.portfolio.layer import Layer
-from repro.portfolio.program import ReinsuranceProgram
 from repro.utils.timing import PhaseTimer, Timer
 from repro.yet.table import YearEventTable
-from repro.ylt.table import YearLossTable
 
 __all__ = ["SequentialEngine", "build_lookup"]
 
@@ -63,7 +66,7 @@ class SequentialEngine:
     # Plan scheduler
     # ------------------------------------------------------------------ #
     def run_plan(self, plan) -> EngineResult:
-        """Execute an :class:`~repro.core.plan.ExecutionPlan` row by row.
+        """Execute an :class:`~repro.core.plan.ExecutionPlan` trial by trial.
 
         The sequential backend schedules a plan by iterating its source
         layers through the reference per-(layer, trial) loop — a line-for-
@@ -76,74 +79,53 @@ class SequentialEngine:
                 "backend 'sequential' has no stacked execution path; "
                 "use one of the fused backends (vectorized, chunked, multicore)"
             )
-        result = self._run_program(
-            ReinsuranceProgram(plan.layers, name=plan.source), plan.yet
-        )
-        return result.with_extra_details(
-            plan={
-                "source": plan.source,
-                "n_rows": plan.n_rows,
-                "n_unique_rows": plan.n_unique_rows,
-                "n_segments": len(plan.segments),
-            }
-        )
-
-    # ------------------------------------------------------------------ #
-    # The plan scheduler's work loop (the paper's basic algorithm)
-    # ------------------------------------------------------------------ #
-    def _run_program(self, program: ReinsuranceProgram | Layer, yet: YearEventTable) -> EngineResult:
-        """Run the reference analysis for every layer of ``program`` over ``yet``."""
-        program = ReinsuranceProgram.wrap(program)
         config = self.config
         timer = PhaseTimer(enabled=config.record_phases)
         wall = Timer().start()
 
-        n_trials = yet.n_trials
-        losses = np.zeros((program.n_layers, n_trials), dtype=np.float64)
-        max_occ = (
-            np.zeros((program.n_layers, n_trials), dtype=np.float64)
-            if config.record_max_occurrence
-            else None
-        )
-
         # Preprocessing stage: load the ELTs of every layer into the
         # configured lookup structures (the paper's "data is loaded into local
-        # memory" step).
+        # memory" step).  Built once, shared by every shard.
         layer_lookups: list[list[LossLookup]] = [
             [build_lookup(elt, config.elt_representation) for elt in layer.elts]
-            for layer in program.layers
+            for layer in plan.layers
         ]
-
         record_phases = config.record_phases
-        for layer_index, layer in enumerate(program.layers):          # line 1: for all a in L
-            lookups = layer_lookups[layer_index]
-            elt_terms = [elt.terms for elt in layer.elts]
-            terms = layer.terms
-            for trial_index in range(n_trials):                        # line 2: for all b in YET
-                year_loss, trial_max = self._analyse_trial(
-                    yet, trial_index, lookups, elt_terms, terms, timer, record_phases
-                )
-                losses[layer_index, trial_index] = year_loss
-                if max_occ is not None:
-                    max_occ[layer_index, trial_index] = trial_max
 
-        wall_seconds = wall.stop()
-        shape = WorkloadShape(
-            n_trials=n_trials,
-            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
-            n_elts=max(int(round(program.mean_elts_per_layer)), 1),
-            n_layers=program.n_layers,
-        )
-        return EngineResult(
-            ylt=YearLossTable(losses, program.layer_names, max_occ),
-            backend=self.name,
-            wall_seconds=wall_seconds,
-            workload_shape=shape,
-            phase_breakdown=timer.breakdown() if config.record_phases else None,
-            details={
+        shards = plan.shard_ranges(plan.n_shards or config.trial_shards)
+        accumulator = ResultAccumulator.for_plan(plan)
+        for trials in shards:
+            losses = np.zeros((plan.n_rows, trials.size), dtype=np.float64)
+            max_occ = (
+                np.zeros((plan.n_rows, trials.size), dtype=np.float64)
+                if config.record_max_occurrence
+                else None
+            )
+            for layer_index, layer in enumerate(plan.layers):      # line 1: for all a in L
+                lookups = layer_lookups[layer_index]
+                elt_terms = [elt.terms for elt in layer.elts]
+                terms = layer.terms
+                for trial_index in trials:                          # line 2: for all b in YET
+                    year_loss, trial_max = self._analyse_trial(
+                        plan.yet, trial_index, lookups, elt_terms, terms, timer, record_phases
+                    )
+                    losses[layer_index, trial_index - trials.start] = year_loss
+                    if max_occ is not None:
+                        max_occ[layer_index, trial_index - trials.start] = trial_max
+            accumulator.add(PartialResult(trials, losses, max_occ))
+
+        return finalize_plan_result(
+            plan,
+            self.name,
+            accumulator.year_losses(),
+            accumulator.max_occurrence_losses(),
+            wall.stop(),
+            {
                 "elt_representation": config.elt_representation,
                 "fused_layers": False,
+                "trial_shards": len(shards),
             },
+            phase_breakdown=timer.breakdown() if config.record_phases else None,
         )
 
     # ------------------------------------------------------------------ #

@@ -33,6 +33,7 @@ __all__ = [
     "block_partition",
     "chunk_partition",
     "cyclic_partition",
+    "shard_partition",
     "tile_partition",
 ]
 
@@ -112,16 +113,22 @@ def tile_partition(
 
 
 def block_partition(n_trials: int, n_blocks: int) -> List[TrialRange]:
-    """Split ``n_trials`` into ``n_blocks`` contiguous, nearly equal blocks.
+    """Split ``n_trials`` into at most ``n_blocks`` contiguous, nearly equal blocks.
 
-    The first ``n_trials % n_blocks`` blocks receive one extra trial.  Empty
-    blocks are produced when ``n_blocks > n_trials`` so that callers can rely
-    on receiving exactly ``n_blocks`` ranges.
+    The first ``n_trials % n_blocks`` blocks receive one extra trial.  Every
+    returned range is non-empty: with ``n_blocks > n_trials`` only
+    ``n_trials`` single-trial blocks are produced, and zero trials produce an
+    empty list.  An empty ``TrialRange`` is never emitted — a zero-size work
+    item would make a worker pay its scheduling overhead for nothing and
+    forces every consumer (executors, accumulators) to special-case it.
     """
     if n_trials < 0:
         raise ValueError(f"n_trials must be non-negative, got {n_trials}")
     if n_blocks <= 0:
         raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+    n_blocks = min(n_blocks, n_trials)
+    if n_blocks == 0:
+        return []
     base = n_trials // n_blocks
     remainder = n_trials % n_blocks
     ranges: List[TrialRange] = []
@@ -134,7 +141,11 @@ def block_partition(n_trials: int, n_blocks: int) -> List[TrialRange]:
 
 
 def chunk_partition(n_trials: int, chunk_size: int) -> List[TrialRange]:
-    """Split ``n_trials`` into contiguous chunks of at most ``chunk_size`` trials."""
+    """Split ``n_trials`` into contiguous chunks of at most ``chunk_size`` trials.
+
+    Zero trials produce an empty list; like :func:`block_partition`, an empty
+    ``TrialRange`` is never emitted.
+    """
     if n_trials < 0:
         raise ValueError(f"n_trials must be non-negative, got {n_trials}")
     if chunk_size <= 0:
@@ -142,7 +153,20 @@ def chunk_partition(n_trials: int, chunk_size: int) -> List[TrialRange]:
     ranges = []
     for start in range(0, n_trials, chunk_size):
         ranges.append(TrialRange(start, min(start + chunk_size, n_trials)))
-    return ranges if ranges else [TrialRange(0, 0)]
+    return ranges
+
+
+def shard_partition(n_trials: int, n_shards: int) -> List[TrialRange]:
+    """The trial-shard decomposition of the paper's map/reduce shape.
+
+    Splits ``[0, n_trials)`` into at most ``n_shards`` contiguous, nearly
+    equal, non-empty shards — the unit over which
+    :class:`~repro.core.results.PartialResult` blocks are computed and merged.
+    This is :func:`block_partition` under its sharding name: keeping a
+    dedicated entry point lets the plan layer state its contract ("shards are
+    disjoint, ordered, and cover the trial range") in one place.
+    """
+    return block_partition(n_trials, n_shards)
 
 
 def cyclic_partition(n_trials: int, n_workers: int) -> List[np.ndarray]:

@@ -118,7 +118,7 @@ class PortfolioSweepService:
         :func:`~repro.portfolio.pricing.price_program` for every quote.
     plan_factory:
         How a block lowers to an :class:`~repro.core.plan.ExecutionPlan`:
-        a callable ``(programs, yet, dedupe, source) -> ExecutionPlan``.
+        a callable ``(programs, yet, dedupe, source, n_shards) -> ExecutionPlan``.
         Defaults to :meth:`~repro.core.plan.PlanBuilder.from_programs`; the
         :class:`~repro.service.service.RiskService` injects its
         content-addressed plan cache here so repeated sweeps of the same
@@ -156,6 +156,7 @@ class PortfolioSweepService:
         yet: "YearEventTable",
         max_rows_per_block: int = 0,
         dedupe: bool = True,
+        shards: int = 0,
     ) -> Iterator[SweepBlock]:
         """Stream the sweep: one :class:`SweepBlock` per engine pass.
 
@@ -164,6 +165,14 @@ class PortfolioSweepService:
         greedily in order, never split across blocks, so a block can exceed
         the bound only when a single program alone does.  With ``dedupe``
         identical ELT gathers are shared within each block.
+
+        ``shards`` additionally bounds the *trial* axis: each block's plan
+        is executed as that many disjoint trial shards, the scheduler's
+        :class:`~repro.core.results.ResultAccumulator` merging the partial
+        blocks exactly (``0`` = the engine config's ``trial_shards``).  Rows
+        and trials are therefore bounded independently — a sweep's working
+        set is one row block x one trial shard, and the quotes stream out
+        bit-identical to the unbounded run.
 
         This is a generator: block ``k`` is executed lazily when the caller
         advances past block ``k - 1``, so quotes stream out while the rest
@@ -179,17 +188,25 @@ class PortfolioSweepService:
             raise ValueError(
                 f"max_rows_per_block must be non-negative, got {max_rows_per_block}"
             )
+        if shards < 0:
+            raise ValueError(f"shards must be non-negative, got {shards}")
 
         build_plan = self.plan_factory
         if build_plan is None:
-            build_plan = lambda group, group_yet, group_dedupe, source: (  # noqa: E731
-                PlanBuilder.from_programs(
-                    group, group_yet, dedupe=group_dedupe, source=source
+            build_plan = (  # noqa: E731
+                lambda group, group_yet, group_dedupe, source, n_shards=0: (
+                    PlanBuilder.from_programs(
+                        group,
+                        group_yet,
+                        dedupe=group_dedupe,
+                        source=source,
+                        n_shards=n_shards,
+                    )
                 )
             )
 
         for index, group in enumerate(_pack_blocks(normalised, max_rows_per_block)):
-            plan = build_plan(group, yet, dedupe, "sweep")
+            plan = build_plan(group, yet, dedupe, "sweep", shards)
             combined = self.engine.run_plan(plan)
             results = tuple(plan.split_result(combined))
             quotes: tuple[ProgramQuote, ...] = ()
@@ -219,11 +236,16 @@ class PortfolioSweepService:
         yet: "YearEventTable",
         max_rows_per_block: int = 0,
         dedupe: bool = True,
+        shards: int = 0,
     ) -> List[ProgramQuote]:
         """Drain :meth:`sweep` and return one quote per program, in order."""
         quotes: List[ProgramQuote] = []
         for block in self.sweep(
-            programs, yet, max_rows_per_block=max_rows_per_block, dedupe=dedupe
+            programs,
+            yet,
+            max_rows_per_block=max_rows_per_block,
+            dedupe=dedupe,
+            shards=shards,
         ):
             quotes.extend(block.quotes)
         return quotes

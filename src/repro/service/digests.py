@@ -64,6 +64,7 @@ PLAN_RELEVANT_CONFIG_FIELDS: tuple[str, ...] = (
     "use_aggregate_shortcut",
     "record_max_occurrence",
     "elt_representation",
+    "trial_shards",
     "chunk_events",
     "n_workers",
     "scheduling",

@@ -92,6 +92,12 @@ class AnalysisRequest:
         scenario of the paper's Section IV.
     dedupe:
         Share identical ELT gathers across the batch/sweep rows.
+    shards:
+        Execute the lowered plan(s) as this many disjoint trial shards
+        (``0`` = the engine config's ``trial_shards``).  The merged result
+        is bit-identical for every shard count; sharding bounds the
+        per-pass working set.  Cache keys include the shard count, since it
+        is lowered into the plan.
     max_rows_per_block:
         Row bound of one sweep block (``0`` = a single block).
     replications, cv, family, method, replication_block:
@@ -118,6 +124,7 @@ class AnalysisRequest:
     yet: str | None = None
     variants: int = 0
     dedupe: bool = True
+    shards: int = 0
     max_rows_per_block: int = 0
     replications: int = 64
     cv: float = 0.6
@@ -141,6 +148,8 @@ class AnalysisRequest:
             )
         if self.variants < 0:
             raise _error(f"must be non-negative, got {self.variants}", "variants")
+        if self.shards < 0:
+            raise _error(f"must be non-negative, got {self.shards}", "shards")
         if self.max_rows_per_block < 0:
             raise _error(
                 f"must be non-negative, got {self.max_rows_per_block}",

@@ -380,9 +380,12 @@ class RiskService:
     ) -> AnalysisResponse:
         program, companion = self._resolve_program(request.program, request.seed)
         yet = self._resolve_yet(request, companion)
-        key = self._program_key("run", [program], yet)
+        key = self._program_key("run", [program], yet, request.shards)
         plan, lower_seconds = self._cached_plan(
-            key, lambda: PlanBuilder.from_program(program, yet), acct, key[1][0][:12]
+            key,
+            lambda: PlanBuilder.from_program(program, yet, n_shards=request.shards),
+            acct,
+            key[1][0][:12],
         )
         executed = time.perf_counter()
         result = self.engine.run_plan(plan)
@@ -414,10 +417,14 @@ class RiskService:
         self, request: AnalysisRequest, acct: _CacheAccounting
     ) -> AnalysisResponse:
         programs, yet = self._batch_programs(request)
-        key = self._program_key("run_many", programs, yet, request.dedupe)
+        key = self._program_key(
+            "run_many", programs, yet, request.dedupe, request.shards
+        )
         plan, lower_seconds = self._cached_plan(
             key,
-            lambda: PlanBuilder.from_programs(programs, yet, dedupe=request.dedupe),
+            lambda: PlanBuilder.from_programs(
+                programs, yet, dedupe=request.dedupe, n_shards=request.shards
+            ),
             acct,
             key[1][0][:12],
         )
@@ -447,11 +454,16 @@ class RiskService:
             terms_digest(entry.terms),
             yet_digest(yet),
             config_digest(self.engine.config),
+            request.shards,
         )
         plan, lower_seconds = self._cached_plan(
             key,
             lambda: PlanBuilder.from_stack(
-                entry.stack, entry.terms, yet, row_names=entry.row_names
+                entry.stack,
+                entry.terms,
+                yet,
+                row_names=entry.row_names,
+                n_shards=request.shards,
             ),
             acct,
             key[1][:12],
@@ -473,12 +485,12 @@ class RiskService:
         programs, yet = self._batch_programs(request)
         lower_box = [0.0]
 
-        def plan_factory(group, group_yet, dedupe, source):
-            key = self._program_key("sweep", group, group_yet, dedupe)
+        def plan_factory(group, group_yet, dedupe, source, n_shards=0):
+            key = self._program_key("sweep", group, group_yet, dedupe, n_shards)
             plan, seconds = self._cached_plan(
                 key,
                 lambda: PlanBuilder.from_programs(
-                    group, group_yet, dedupe=dedupe, source=source
+                    group, group_yet, dedupe=dedupe, source=source, n_shards=n_shards
                 ),
                 acct,
                 key[1][0][:12],
@@ -502,6 +514,7 @@ class RiskService:
             yet,
             max_rows_per_block=request.max_rows_per_block,
             dedupe=request.dedupe,
+            shards=request.shards,
         ):
             results.extend(block.results)
             quotes.extend(block.quotes)
@@ -571,14 +584,18 @@ class RiskService:
             tvar_levels=request.tvar_levels,
             method=request.method,
             replication_block=request.replication_block or None,
+            trial_shards=request.shards,
         )
         # Price the expected (mean-loss) program through the cached plan
         # path: the expected program is rebuilt per request, but its content
         # digest is stable, so warm requests reuse the lowered plan.
         expected = analysis.expected_program()
-        key = self._program_key("run", [expected], yet)
+        key = self._program_key("run", [expected], yet, request.shards)
         plan, lower_seconds = self._cached_plan(
-            key, lambda: PlanBuilder.from_program(expected, yet), acct, key[1][0][:12]
+            key,
+            lambda: PlanBuilder.from_program(expected, yet, n_shards=request.shards),
+            acct,
+            key[1][0][:12],
         )
         result = self.engine.run_plan(plan)
         execute_seconds = time.perf_counter() - executed - lower_seconds

@@ -45,6 +45,7 @@ import numpy as np
 from repro.core.config import EngineConfig
 from repro.core.engine import AggregateRiskEngine
 from repro.core.kernels import replication_portfolio_losses
+from repro.core.plan import PlanBuilder
 from repro.financial.policies import apply_financial_terms
 from repro.financial.terms import LayerTerms, LayerTermsVectors
 from repro.portfolio.layer import Layer
@@ -266,6 +267,7 @@ class SecondaryUncertaintyAnalysis:
         tvar_levels: Sequence[float] = (0.99,),
         method: str = "batched",
         replication_block: int | None = None,
+        trial_shards: int = 0,
     ) -> Dict[str, ReplicationSummary]:
         """Run the replicated analysis through the fused batch engine.
 
@@ -286,6 +288,11 @@ class SecondaryUncertaintyAnalysis:
             Replications sampled and priced per fused pass (batched method
             only).  Defaults to ``config.replication_block``; ``0`` or
             ``None`` there means all replications in a single pass.
+        trial_shards:
+            Execute each engine pass as this many exactly-merged trial
+            shards (``0`` = the engine config's ``trial_shards``), bounding
+            the fused gather to one shard's events.  Sharding never moves a
+            bit, so the bands are unchanged by it.
 
         Returns a mapping with keys ``"aal"``, ``"pml_<rp>"`` and
         ``"tvar_<level>"`` describing the distribution of each metric across
@@ -308,7 +315,9 @@ class SecondaryUncertaintyAnalysis:
                     [layer.sample_layer(replication_rng) for layer in self.layers],
                     name="replication",
                 )
-                result = engine.run(program, yet)
+                result = engine.run_plan(
+                    PlanBuilder.from_program(program, yet, n_shards=trial_shards)
+                )
                 self._collect_metrics(
                     metric_values, result.ylt.portfolio_losses(), return_periods, tvar_levels
                 )
@@ -338,7 +347,10 @@ class SecondaryUncertaintyAnalysis:
                             replication_rng, scratch=scratch
                         )
                 result = engine.run_stacked(
-                    stack[: block_size * n_layers], terms_vectors.tile(block_size), yet
+                    stack[: block_size * n_layers],
+                    terms_vectors.tile(block_size),
+                    yet,
+                    n_shards=trial_shards,
                 )
                 portfolio = replication_portfolio_losses(result.ylt.losses, n_layers)
                 for row in portfolio:

@@ -89,16 +89,28 @@ def segment_ids_from_offsets(offsets: np.ndarray) -> np.ndarray:
 def segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     """Sum of ``values`` within each segment defined by CSR offsets.
 
-    Empty segments produce 0.  Implemented with a cumulative sum rather than
-    ``np.add.reduceat`` because ``reduceat`` mishandles empty segments (it
-    returns the *next* element instead of the identity).
+    Empty segments produce 0.  Implemented with ``np.add.reduceat`` restricted
+    to the non-empty segments (``reduceat`` mishandles empty ones — it returns
+    the *next* element instead of the identity).  The reduction is **segment
+    local**: each segment's sum is accumulated left to right over that
+    segment's values only, so the result for a segment never depends on which
+    other segments share the array.  That locality is what makes trial-sharded
+    execution exact — a trial's year loss is bit-identical whether its shard
+    holds one trial or a million (a cumulative-sum-difference implementation
+    would leak prefix rounding across segment boundaries).
     """
     values = np.asarray(values, dtype=np.float64)
     offsets = validate_offsets(np.asarray(offsets), values.shape[0])
-    if values.size == 0:
-        return np.zeros(offsets.size - 1, dtype=np.float64)
-    csum = np.concatenate(([0.0], np.cumsum(values)))
-    return csum[offsets[1:]] - csum[offsets[:-1]]
+    n_seg = offsets.size - 1
+    result = np.zeros(n_seg, dtype=np.float64)
+    if values.size == 0 or n_seg == 0:
+        return result
+    non_empty = np.diff(offsets) > 0
+    if not np.any(non_empty):
+        return result
+    starts = offsets[:-1][non_empty]
+    result[non_empty] = np.add.reduceat(values, starts)
+    return result
 
 
 def segment_max(values: np.ndarray, offsets: np.ndarray, initial: float = 0.0) -> np.ndarray:
@@ -130,21 +142,24 @@ def segment_sum_2d(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
 
     The fused multi-layer kernel reduces every layer's per-event losses to
     per-trial totals in one call; each row is treated exactly like
-    :func:`segment_sum` treats its 1-D input (empty segments produce 0).
-    Returns an ``(n_rows, n_segments)`` matrix.
+    :func:`segment_sum` treats its 1-D input (empty segments produce 0, and
+    the reduction is segment local — see there for why that matters to
+    trial-sharded execution).  Returns an ``(n_rows, n_segments)`` matrix.
     """
     matrix = np.asarray(values, dtype=np.float64)
     if matrix.ndim != 2:
         raise ValueError(f"values must be 2-D (n_rows, n), got shape {matrix.shape}")
     offsets = validate_offsets(np.asarray(offsets), matrix.shape[1])
     n_seg = offsets.size - 1
-    if matrix.shape[1] == 0:
-        return np.zeros((matrix.shape[0], n_seg), dtype=np.float64)
-    csum = np.concatenate(
-        [np.zeros((matrix.shape[0], 1), dtype=np.float64), np.cumsum(matrix, axis=1)],
-        axis=1,
-    )
-    return csum[:, offsets[1:]] - csum[:, offsets[:-1]]
+    result = np.zeros((matrix.shape[0], n_seg), dtype=np.float64)
+    if matrix.shape[1] == 0 or n_seg == 0:
+        return result
+    non_empty = np.diff(offsets) > 0
+    if not np.any(non_empty):
+        return result
+    starts = offsets[:-1][non_empty]
+    result[:, non_empty] = np.add.reduceat(matrix, starts, axis=1)
+    return result
 
 
 def segment_max_2d(

@@ -11,11 +11,20 @@ years, which is why the industry distributes YETs as data artefacts.
   (:class:`YearEventTable`),
 * :mod:`repro.yet.simulator` — :class:`YETSimulator`, which samples trials
   from a catalog's occurrence rates and seasonality,
-* :mod:`repro.yet.io` — a simple ``.npz`` serialization format.
+* :mod:`repro.yet.io` — a simple ``.npz`` serialization format, plus the
+  memory-mapped store-directory format :class:`YetShardReader` prices
+  out-of-core, one trial shard resident at a time.
 """
 
-from repro.yet.io import load_yet, save_yet
+from repro.yet.io import YetShardReader, load_yet, save_yet, save_yet_store
 from repro.yet.simulator import YETSimulator
 from repro.yet.table import YearEventTable
 
-__all__ = ["YearEventTable", "YETSimulator", "save_yet", "load_yet"]
+__all__ = [
+    "YearEventTable",
+    "YETSimulator",
+    "YetShardReader",
+    "save_yet",
+    "save_yet_store",
+    "load_yet",
+]

@@ -149,6 +149,24 @@ class YearEventTable:
     # ------------------------------------------------------------------ #
     # Slicing / partitioning (used by the parallel backends)
     # ------------------------------------------------------------------ #
+    def trial_window(self, start: int, stop: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(event_ids, local_offsets)`` of trials ``[start, stop)``.
+
+        The event ids are a zero-copy view into the flat array; the offsets
+        are rebased to the window (``local_offsets[0] == 0``).  This is the
+        form the shard-loop schedulers feed to the kernels: per-trial
+        reductions are trial-local, so pricing a window produces exactly the
+        columns a whole-table run would produce for those trials.
+        """
+        if not 0 <= start <= stop <= self.n_trials:
+            raise IndexError(
+                f"invalid trial window [{start}, {stop}) for {self.n_trials} trials"
+            )
+        lo = int(self.trial_offsets[start])
+        return self.event_ids[lo : int(self.trial_offsets[stop])], (
+            self.trial_offsets[start : stop + 1] - lo
+        )
+
     def slice_trials(self, start: int, stop: int) -> "YearEventTable":
         """A new YET containing trials ``start:stop`` (copies the slice)."""
         if not 0 <= start <= stop <= self.n_trials:

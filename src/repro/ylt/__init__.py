@@ -12,12 +12,19 @@ and rating agencies" (Section I).
 * :mod:`repro.ylt.reporting` — formatted risk reports.
 """
 
-from repro.ylt.ep_curve import EPCurve, aep_curve, oep_curve
+from repro.ylt.ep_curve import (
+    EPCurve,
+    aep_curve,
+    aep_curve_from_blocks,
+    oep_curve,
+    oep_curve_from_blocks,
+)
 from repro.ylt.io import load_ylt, save_ylt
 from repro.ylt.metrics import (
     RiskMetrics,
     aal,
     compute_risk_metrics,
+    compute_risk_metrics_from_blocks,
     pml,
     tvar,
 )
@@ -30,7 +37,10 @@ __all__ = [
     "load_ylt",
     "EPCurve",
     "aep_curve",
+    "aep_curve_from_blocks",
     "oep_curve",
+    "oep_curve_from_blocks",
+    "compute_risk_metrics_from_blocks",
     "aal",
     "pml",
     "tvar",

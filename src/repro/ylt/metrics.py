@@ -19,10 +19,11 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.utils.validation import ensure_positive, ensure_probability
-from repro.ylt.ep_curve import EPCurve, aep_curve
+from repro.ylt.ep_curve import EPCurve, _concatenate_blocks, aep_curve
 from repro.ylt.table import YearLossTable
 
 __all__ = ["aal", "pml", "tvar", "value_at_risk", "RiskMetrics", "compute_risk_metrics",
+           "compute_risk_metrics_from_blocks",
            "DEFAULT_RETURN_PERIODS", "DEFAULT_TVAR_LEVELS"]
 
 #: Return periods (years) reported by default: the levels regulators and
@@ -138,6 +139,26 @@ def compute_risk_metrics(
         max_loss=float(values.max()),
         n_trials=int(values.size),
     )
+
+
+def compute_risk_metrics_from_blocks(
+    blocks,
+    return_periods: Sequence[float] = DEFAULT_RETURN_PERIODS,
+    tvar_levels: Sequence[float] = DEFAULT_TVAR_LEVELS,
+) -> RiskMetrics:
+    """The standard metric set from per-shard year-loss blocks.
+
+    ``blocks`` is any iterable of 1-D arrays, typically
+    :meth:`~repro.core.results.ResultAccumulator.layer_blocks` or
+    :meth:`~repro.core.results.ResultAccumulator.portfolio_blocks` of a
+    sharded run.  Every metric here is a function of the *set* of per-trial
+    year losses (quantiles sort them anyway), so the result is identical to
+    :func:`compute_risk_metrics` over the monolithic vector regardless of
+    how the trials were sharded.  The blocks are concatenated once — for the
+    order-insensitive subset (AAL, max) without the concatenation, keep a
+    running :class:`~repro.core.results.MetricState` instead.
+    """
+    return compute_risk_metrics(_concatenate_blocks(blocks), return_periods, tvar_levels)
 
 
 def layer_metrics(ylt: YearLossTable,

@@ -68,3 +68,148 @@ class TestPhases:
             pass
         assert enabled.count("x") == 1
         assert disabled.count("x") == 0
+
+
+class TestPartialResult:
+    def test_shape_validation(self):
+        from repro.core.results import PartialResult
+        from repro.parallel.partitioner import TrialRange
+
+        with pytest.raises(ValueError, match="2-D"):
+            PartialResult(TrialRange(0, 3), np.zeros(3))
+        with pytest.raises(ValueError, match="cover 2 trials"):
+            PartialResult(TrialRange(0, 3), np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="max_occurrence shape"):
+            PartialResult(TrialRange(0, 3), np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_from_result_reads_recorded_trial_range(self):
+        from repro.core.results import PartialResult
+
+        result = make_result()
+        enriched = result.with_extra_details(plan={"trial_range": [4, 7]})
+        partial = PartialResult.from_result(enriched)
+        assert (partial.trials.start, partial.trials.stop) == (4, 7)
+        np.testing.assert_array_equal(partial.losses, result.ylt.losses)
+
+    def test_from_result_without_range_requires_explicit_trials(self):
+        from repro.core.results import PartialResult
+
+        with pytest.raises(ValueError, match="trial range"):
+            PartialResult.from_result(make_result())
+
+
+class TestResultAccumulator:
+    def _partial(self, start, stop, value, n_rows=2):
+        from repro.core.results import PartialResult
+        from repro.parallel.partitioner import TrialRange
+
+        size = stop - start
+        return PartialResult(
+            TrialRange(start, stop),
+            np.full((n_rows, size), float(value)),
+            np.full((n_rows, size), float(value) / 2),
+        )
+
+    def test_rejects_overlap_and_out_of_domain(self):
+        from repro.core.results import ResultAccumulator
+
+        acc = ResultAccumulator(2, 10)
+        acc.add(self._partial(0, 4, 1.0))
+        with pytest.raises(ValueError, match="overlaps"):
+            acc.add(self._partial(3, 6, 2.0))
+        with pytest.raises(ValueError, match="outside"):
+            acc.add(self._partial(8, 12, 2.0))
+        with pytest.raises(ValueError, match="rows"):
+            acc.add(self._partial(4, 6, 2.0, n_rows=3))
+
+    def test_incomplete_assembly_names_missing_ranges(self):
+        from repro.core.results import ResultAccumulator
+
+        acc = ResultAccumulator(2, 10)
+        acc.add(self._partial(2, 5, 1.0))
+        assert not acc.is_complete
+        gaps = acc.missing_ranges()
+        assert [(g.start, g.stop) for g in gaps] == [(0, 2), (5, 10)]
+        with pytest.raises(ValueError, match=r"missing trial ranges: \[0, 2\)"):
+            acc.year_losses()
+
+    def test_out_of_order_assembly_places_columns(self):
+        from repro.core.results import ResultAccumulator
+
+        acc = ResultAccumulator(1, 6, row_names=["layer"])
+        acc.add(self._partial(4, 6, 3.0, n_rows=1))
+        acc.add(self._partial(0, 2, 1.0, n_rows=1))
+        acc.add(self._partial(2, 4, 2.0, n_rows=1))
+        np.testing.assert_array_equal(
+            acc.year_losses()[0], [1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+        )
+        ylt = acc.to_ylt()
+        assert ylt.layer_names == ("layer",)
+        np.testing.assert_array_equal(
+            ylt.max_occurrence_losses[0], [0.5, 0.5, 1.0, 1.0, 1.5, 1.5]
+        )
+
+    def test_single_block_fast_path_returns_the_block(self):
+        from repro.core.results import ResultAccumulator
+
+        acc = ResultAccumulator(2, 5)
+        partial = self._partial(0, 5, 1.0)
+        acc.add(partial)
+        assert acc.year_losses() is partial.losses
+
+    def test_merge_requires_same_domain(self):
+        from repro.core.results import ResultAccumulator
+
+        acc = ResultAccumulator(2, 10)
+        with pytest.raises(ValueError, match="same rows and trial domain"):
+            acc.merge(ResultAccumulator(2, 8))
+
+    def test_missing_max_occurrence_collapses_to_none(self):
+        from repro.core.results import PartialResult, ResultAccumulator
+        from repro.parallel.partitioner import TrialRange
+
+        acc = ResultAccumulator(1, 4)
+        acc.add(PartialResult(TrialRange(0, 2), np.ones((1, 2)), np.ones((1, 2))))
+        acc.add(PartialResult(TrialRange(2, 4), np.ones((1, 2)), None))
+        assert acc.max_occurrence_losses() is None
+
+    def test_finalize_builds_engine_result(self):
+        from repro.core.results import ResultAccumulator
+
+        acc = ResultAccumulator(2, 6)
+        acc.add(self._partial(0, 3, 1.0))
+        acc.add(self._partial(3, 6, 2.0))
+        result = acc.finalize("vectorized", wall_seconds=1.25)
+        assert isinstance(result, EngineResult)
+        assert result.backend == "vectorized"
+        assert result.wall_seconds == 1.25
+        assert result.details["merged_shards"]["n_shards"] == 2
+        assert result.n_trials == 6
+
+
+class TestMetricState:
+    def test_merge_matches_whole_computation(self):
+        from repro.core.results import MetricState
+
+        rng = np.random.default_rng(7)
+        losses = rng.uniform(0.0, 100.0, size=(3, 20))
+        whole = MetricState.from_losses(losses)
+        merged = MetricState.from_losses(losses[:, :8]).merge(
+            MetricState.from_losses(losses[:, 8:])
+        )
+        assert merged.n_trials == whole.n_trials == 20
+        np.testing.assert_allclose(merged.mean(), losses.mean(axis=1), rtol=1e-12)
+        np.testing.assert_array_equal(merged.max_loss, losses.max(axis=1))
+        np.testing.assert_allclose(
+            merged.std(), losses.std(axis=1, ddof=1), rtol=1e-9
+        )
+
+    def test_empty_state_guards(self):
+        from repro.core.results import MetricState
+
+        state = MetricState.from_losses(np.zeros((2, 0)))
+        assert state.n_trials == 0
+        with pytest.raises(ValueError, match="no trials"):
+            state.mean()
+        with pytest.raises(ValueError, match="rows"):
+            state.merge(MetricState.from_losses(np.zeros((3, 0))))

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.parallel.partitioner import TrialRange, block_partition, chunk_partition, cyclic_partition
+from repro.parallel.partitioner import (
+    TrialRange,
+    block_partition,
+    chunk_partition,
+    cyclic_partition,
+    shard_partition,
+)
 
 
 class TestTrialRange:
@@ -32,14 +38,29 @@ class TestBlockPartition:
         sizes = [block.size for block in block_partition(103, 8)]
         assert max(sizes) - min(sizes) <= 1
 
-    def test_more_blocks_than_trials(self):
+    def test_more_blocks_than_trials_never_emits_empty_ranges(self):
         blocks = block_partition(3, 5)
-        assert len(blocks) == 5
-        assert sum(block.size for block in blocks) == 3
+        assert len(blocks) == 3
+        assert all(block.size == 1 for block in blocks)
+        assert [i for block in blocks for i in block] == [0, 1, 2]
 
-    def test_zero_trials(self):
-        blocks = block_partition(0, 4)
-        assert all(block.size == 0 for block in blocks)
+    def test_zero_trials_yields_no_blocks(self):
+        assert block_partition(0, 4) == []
+
+    def test_single_trial_many_blocks(self):
+        assert block_partition(1, 8) == [TrialRange(0, 1)]
+
+    def test_blocks_equal_trials_boundary(self):
+        blocks = block_partition(7, 7)
+        assert len(blocks) == 7
+        assert all(block.size == 1 for block in blocks)
+
+    def test_never_emits_empty_ranges_across_boundaries(self):
+        for n_trials in range(0, 9):
+            for n_blocks in range(1, 12):
+                blocks = block_partition(n_trials, n_blocks)
+                assert all(block.size > 0 for block in blocks), (n_trials, n_blocks)
+                assert sum(block.size for block in blocks) == n_trials
 
     def test_invalid_arguments(self):
         with pytest.raises(ValueError):
@@ -58,13 +79,33 @@ class TestChunkPartition:
         covered = [i for chunk in chunks for i in chunk]
         assert covered == list(range(25))
 
-    def test_zero_trials_single_empty_chunk(self):
-        chunks = chunk_partition(0, 5)
-        assert len(chunks) == 1 and chunks[0].size == 0
+    def test_zero_trials_yields_no_chunks(self):
+        assert chunk_partition(0, 5) == []
+
+    def test_never_emits_empty_ranges_across_boundaries(self):
+        for n_trials in range(0, 9):
+            for chunk_size in range(1, 12):
+                chunks = chunk_partition(n_trials, chunk_size)
+                assert all(chunk.size > 0 for chunk in chunks), (n_trials, chunk_size)
+                assert sum(chunk.size for chunk in chunks) == n_trials
 
     def test_invalid_chunk_size(self):
         with pytest.raises(ValueError):
             chunk_partition(10, 0)
+
+
+class TestShardPartition:
+    def test_covers_in_order_without_empties(self):
+        shards = shard_partition(103, 8)
+        assert len(shards) == 8
+        assert [i for shard in shards for i in shard] == list(range(103))
+        assert all(shard.size > 0 for shard in shards)
+
+    def test_caps_at_trial_count(self):
+        assert len(shard_partition(3, 100)) == 3
+
+    def test_zero_trials(self):
+        assert shard_partition(0, 4) == []
 
 
 class TestCyclicPartition:

@@ -326,3 +326,58 @@ class TestSharedWorkspaceReuse:
             # Only the second plan's workspace may remain.
             assert len(leftover) <= 3  # stack + event_ids + trial_offsets
         assert _shm_entries() - before == set()
+
+
+class TestShardedRequests:
+    """The request-level `shards` field: exact results, distinct cache keys."""
+
+    @pytest.mark.parametrize("kind", ("run", "run_many", "sweep"))
+    def test_sharded_request_bit_identical_to_unsharded(self, service, kind):
+        base = {"kind": kind, "program": "tiny"}
+        if kind in ("run_many", "sweep"):
+            base["variants"] = 3
+        unsharded = service.submit(dict(base))
+        sharded = service.submit(dict(base, shards=4))
+        assert len(sharded.results) == len(unsharded.results)
+        for lhs, rhs in zip(sharded.results, unsharded.results):
+            np.testing.assert_array_equal(lhs.ylt.losses, rhs.ylt.losses)
+
+    def test_shards_participate_in_the_cache_key(self, service):
+        service.submit({"kind": "run", "program": "tiny"})
+        sharded = service.submit({"kind": "run", "program": "tiny", "shards": 2})
+        assert sharded.cache.hit is False  # same program, different shard plan
+        warm = service.submit({"kind": "run", "program": "tiny", "shards": 2})
+        assert warm.cache.hit is True
+
+    def test_sharded_run_records_shard_count(self, service):
+        response = service.submit({"kind": "run", "program": "tiny", "shards": 4})
+        assert response.result.details["trial_shards"] == 4
+
+    def test_sharded_multicore_request(self, tiny_workload):
+        with RiskService(EngineConfig(backend="multicore", n_workers=2)) as svc:
+            svc.register_workload("tiny", tiny_workload)
+            sharded = svc.submit({"kind": "run", "program": "tiny", "shards": 3})
+        direct = AggregateRiskEngine(EngineConfig()).run(
+            tiny_workload.program, tiny_workload.yet
+        )
+        np.testing.assert_array_equal(sharded.result.ylt.losses, direct.ylt.losses)
+
+    def test_negative_shards_rejected(self, service):
+        with pytest.raises(RequestValidationError, match="shards"):
+            service.submit({"kind": "run", "program": "tiny", "shards": -1})
+
+    def test_sharded_uncertainty_bands_bit_identical(self, service):
+        base = {
+            "kind": "uncertainty",
+            "program": "tiny",
+            "replications": 4,
+            "seed": 11,
+        }
+        unsharded = service.submit(dict(base))
+        sharded = service.submit(dict(base, shards=3))
+        assert sharded.result.details["trial_shards"] == 3
+        for name, band in unsharded.bands.items():
+            np.testing.assert_array_equal(sharded.bands[name].values, band.values)
+        np.testing.assert_array_equal(
+            sharded.result.ylt.losses, unsharded.result.ylt.losses
+        )

@@ -240,3 +240,87 @@ class TestServeCommand:
         assert answers[1]["cache"]["hit"] is True  # warm plan + stack reuse
         assert "error" in answers[2]
         assert "served 2 requests" in captured.err
+
+
+class TestShardedRun:
+    def test_shards_flag_parsed(self):
+        args = build_parser().parse_args(["run", "--shards", "4"])
+        assert args.shards == 4
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--shards", "-1"])
+
+    def test_sharded_run_reports_shard_count(self, capsys):
+        assert main(["run", "--preset", "tiny", "--shards", "4"]) == 0
+        assert "shards=4" in capsys.readouterr().out
+
+    def test_sharded_metrics_match_monolithic(self, capsys):
+        """The printed risk numbers (AAL/PML/TVaR) must be shard-invariant.
+
+        The metrics report is a pure function of the year losses, so
+        comparing it end to end catches any sharded-vs-monolithic result
+        drift through the whole CLI -> service -> engine path.
+        """
+
+        def report_lines(out: str) -> list[str]:
+            # Everything from the blank separator on is the metrics report;
+            # the lines above it carry wall times.
+            lines = out.splitlines()
+            return lines[lines.index("") :]
+
+        assert main(["metrics", "--preset", "tiny", "--shards", "4"]) == 0
+        sharded = report_lines(capsys.readouterr().out)
+        assert main(["metrics", "--preset", "tiny"]) == 0
+        monolithic = report_lines(capsys.readouterr().out)
+        assert any("PML" in line or "AAL" in line for line in sharded)
+        assert sharded == monolithic
+
+    def test_sharded_sweep(self, capsys):
+        assert main(["sweep", "--preset", "tiny", "--variants", "3",
+                     "--shards", "2"]) == 0
+        assert "3 quotes" in capsys.readouterr().out
+
+
+class TestServeHardening:
+    def test_malformed_json_line_answers_structured_error(self, monkeypatch, capsys):
+        lines = "\n".join(
+            [
+                "{not json at all",
+                '{"kind": "run", "program": "tiny"}',
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        assert main(["serve"]) == 0
+        captured = capsys.readouterr()
+        answers = [json.loads(line) for line in captured.out.splitlines()]
+        # The malformed line gets a structured error envelope...
+        assert answers[0]["error"]["type"] == "RequestValidationError"
+        assert "not valid JSON" in answers[0]["error"]["message"]
+        # ...and the warm loop keeps serving the next request.
+        assert answers[1]["kind"] == "run"
+        assert "served 1 requests" in captured.err
+
+    def test_schema_error_names_the_field(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO('{"kind": "run", "program": "tiny", "shards": -2}\n')
+        )
+        assert main(["serve"]) == 0
+        answer = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert answer["error"]["field"] == "shards"
+
+    def test_engine_rejection_does_not_kill_the_loop(self, monkeypatch, capsys):
+        # A valid request the backend rejects (stacked path on sequential)
+        # must answer an error line and keep serving.
+        lines = "\n".join(
+            [
+                '{"kind": "uncertainty", "program": "tiny", "replications": 2, "seed": 1}',
+                '{"kind": "run", "program": "tiny"}',
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        assert main(["serve", "--backend", "sequential"]) == 0
+        captured = capsys.readouterr()
+        answers = [json.loads(line) for line in captured.out.splitlines()]
+        assert "error" in answers[0]
+        assert answers[1]["kind"] == "run"

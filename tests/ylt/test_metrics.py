@@ -94,3 +94,28 @@ class TestYLTHelpers:
         curve = portfolio_ep_curve(ylt)
         assert curve.kind == "AEP"
         assert curve.n_points == 2
+
+
+class TestMetricsFromBlocks:
+    def test_identical_to_monolithic_vector(self):
+        from repro.ylt.metrics import compute_risk_metrics_from_blocks
+
+        rng = np.random.default_rng(11)
+        losses = rng.uniform(0.0, 1e6, size=200)
+        whole = compute_risk_metrics(losses)
+        blocked = compute_risk_metrics_from_blocks(
+            [losses[:70], losses[70:71], losses[71:]]
+        )
+        assert blocked == whole
+
+    def test_single_block_shortcut(self):
+        from repro.ylt.metrics import compute_risk_metrics_from_blocks
+
+        losses = np.array([1.0, 5.0, 3.0])
+        assert compute_risk_metrics_from_blocks([losses]) == compute_risk_metrics(losses)
+
+    def test_no_blocks_rejected(self):
+        from repro.ylt.metrics import compute_risk_metrics_from_blocks
+
+        with pytest.raises(ValueError, match="at least one block"):
+            compute_risk_metrics_from_blocks([])
