@@ -24,7 +24,13 @@ This is the 60-second tour of the library:
 8. shard the run over disjoint trial ranges and merge the partial results
    *exactly* — then price the same workload out-of-core from a
    memory-mapped YET store, resident memory bounded by one shard (CLI
-   equivalent: ``are run --shards 8``).
+   equivalent: ``are run --shards 8``),
+9. re-price after the Year Event Table *grows*: a result-caching service
+   recognises that the new table's first trials are byte-identical to one
+   it already priced, pushes only the appended trial range through the
+   kernels and merges it into the cached year-loss blocks — bit-identical
+   to a cold run of the whole extended table (CLI equivalent:
+   ``are serve --result-cache``).
 
 Every entry point above lowers to the same ExecutionPlan IR (one workload
 description of tiles over trial blocks x stacked layer rows) that all five
@@ -221,6 +227,57 @@ def main() -> None:
           out_of_core.details["sharded"])
     print("   out-of-core == monolithic bit-for-bit:",
           bool((out_of_core.ylt.losses == result.ylt.losses).all()))
+
+    # ------------------------------------------------------------------ #
+    # 9. Append-trials warm delta.  The catalog vendor ships 100 more
+    #    simulated years; the result-caching service sees that the extended
+    #    table's first 2000 trials hash to a YET it has already priced, so
+    #    only the appended range goes through the kernels and its partial
+    #    result merges into the cached blocks — bit-identical to pricing
+    #    the whole extended table cold.
+    # ------------------------------------------------------------------ #
+    import numpy as np
+
+    from repro.yet import YearEventTable
+
+    rng = np.random.default_rng(2013)
+    yet = workload.yet
+    lengths = rng.integers(1, int(yet.mean_events_per_trial * 2) + 1, size=100)
+    extra_offsets = np.concatenate([[0], np.cumsum(lengths)])
+    extended_yet = YearEventTable(
+        np.concatenate(
+            [yet.event_ids, rng.integers(0, yet.catalog_size, size=int(lengths.sum()))]
+        ),
+        np.concatenate([yet.trial_offsets, extra_offsets[1:] + yet.n_occurrences]),
+        yet.catalog_size,
+        yet.timestamps if yet.timestamps is None else np.concatenate(
+            [yet.timestamps, np.sort(rng.random(int(lengths.sum())))]
+        ),
+    )
+
+    caching_service = RiskService(EngineConfig(backend="vectorized"), result_cache=True)
+    caching_service.register_program("renewal", workload.program)
+    caching_service.register_yet("renewal", yet)
+    base = caching_service.submit({"kind": "run", "program": "renewal"})
+
+    caching_service.register_yet("renewal", extended_yet)
+    delta = caching_service.submit({"kind": "run", "program": "renewal"})
+    cold = RiskService(EngineConfig(backend="vectorized"))
+    cold.register_program("renewal", workload.program)
+    cold.register_yet("renewal", extended_yet)
+    cold_run = cold.submit({"kind": "run", "program": "renewal"})
+
+    print("\nAppend-trials warm delta (+100 trials on a result-caching service):")
+    print("   base    :", base.result_cache["status"],
+          f"({yet.n_trials} trials priced, cached)")
+    print("   delta   :", delta.result_cache["status"],
+          f"({delta.result_cache['repriced_trials']} trials repriced, "
+          f"{delta.result_cache['cached_trials']} served from cache)")
+    print("  ", caching_service.result_cache_stats().summary())
+    print("   delta == cold extended run bit-for-bit:",
+          bool((delta.result.ylt.losses == cold_run.result.ylt.losses).all()))
+    caching_service.close()
+    cold.close()
 
 
 if __name__ == "__main__":

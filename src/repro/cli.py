@@ -213,6 +213,30 @@ def _add_service_arguments(sub: argparse.ArgumentParser) -> None:
         "--cache-size", type=_positive_int, default=32,
         help="plan-cache capacity of the service (default 32)",
     )
+    sub.add_argument(
+        "--result-cache", metavar="DIR", nargs="?", const="", default=None,
+        help="enable delta-aware result caching for 'run' requests; with DIR "
+             "the cached blocks persist there across service restarts "
+             "(bare flag = in-memory only)",
+    )
+    sub.add_argument(
+        "--result-cache-size", type=_positive_int, default=16,
+        help="resident result-cache entries (default 16)",
+    )
+
+
+def _result_cache_kwargs(args: argparse.Namespace) -> dict:
+    """RiskService kwargs of the ``--result-cache`` options (empty when off)."""
+    spec = getattr(args, "result_cache", None)
+    if spec is None:
+        return {}
+    kwargs = {
+        "result_cache": True,
+        "result_cache_size": getattr(args, "result_cache_size", 16),
+    }
+    if spec:
+        kwargs["result_cache_dir"] = spec
+    return kwargs
 
 
 def _build_workload(args: argparse.Namespace):
@@ -387,7 +411,9 @@ def _command_request(args: argparse.Namespace) -> int:
     try:
         document = _read_request_document(args)
         with RiskService(
-            config=_build_config(args), cache_size=args.cache_size
+            config=_build_config(args),
+            cache_size=args.cache_size,
+            **_result_cache_kwargs(args),
         ) as service:
             response = service.submit(document)
     except RequestValidationError as exc:
@@ -421,10 +447,18 @@ def _command_serve(args: argparse.Namespace) -> int:
     driving the loop sees each answer as soon as it exists.
     """
     answered = 0
-    with RiskService(config=_build_config(args), cache_size=args.cache_size) as service:
+    with RiskService(
+        config=_build_config(args),
+        cache_size=args.cache_size,
+        **_result_cache_kwargs(args),
+    ) as service:
+        banner = f"serving on {args.backend} (plan cache: {args.cache_size} entries"
+        if service.result_cache is not None:
+            tier = service.result_cache.disk_dir
+            banner += f", result cache: {args.result_cache_size} resident"
+            banner += f" @ {tier}" if tier is not None else ""
         print(
-            f"serving on {args.backend} (plan cache: {args.cache_size} entries); "
-            "one JSON request per line",
+            banner + "); one JSON request per line",
             file=sys.stderr,
             flush=True,
         )
@@ -439,11 +473,11 @@ def _command_serve(args: argparse.Namespace) -> int:
                 continue
             print(json.dumps(response.to_dict(), sort_keys=True), flush=True)
             answered += 1
-        print(
-            f"served {answered} requests | {service.cache_stats().summary()}",
-            file=sys.stderr,
-            flush=True,
-        )
+        stats_line = f"served {answered} requests | {service.cache_stats().summary()}"
+        result_cache_stats = service.result_cache_stats()
+        if result_cache_stats is not None:
+            stats_line += f" | {result_cache_stats.summary()}"
+        print(stats_line, file=sys.stderr, flush=True)
     return 0
 
 

@@ -90,6 +90,7 @@ from repro.parallel.device import WorkloadShape
 from repro.portfolio.layer import Layer
 from repro.portfolio.program import ReinsuranceProgram
 from repro.utils.timing import Timer
+from repro.yet.io import shard_count_for_budget
 from repro.yet.table import YearEventTable
 
 __all__ = ["AggregateRiskEngine", "available_backends"]
@@ -173,14 +174,7 @@ class AggregateRiskEngine:
         config = self.config
         if isinstance(source, YearEventTable):
             if max_shard_bytes is not None:
-                per_event = 8 + (8 if source.timestamps is not None else 0)
-                if max_shard_bytes <= 0:
-                    raise ValueError(
-                        f"max_shard_bytes must be positive, got {max_shard_bytes}"
-                    )
-                n_shards = max(
-                    1, -(-(source.n_occurrences * per_event) // max_shard_bytes)
-                )
+                n_shards = shard_count_for_budget(source.event_bytes, max_shard_bytes)
             plan = PlanBuilder.from_program(
                 program, source, n_shards=n_shards or config.trial_shards
             )

@@ -23,7 +23,9 @@ mechanism rather than three.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Iterator, List, Mapping, Sequence
 
 import numpy as np
@@ -293,6 +295,46 @@ class PartialResult:
             details={"backend": result.backend, "wall_seconds": result.wall_seconds},
         )
 
+    # ------------------------------------------------------------------ #
+    # Serialization (raw .npy members + a JSON-compatible manifest entry,
+    # the idiom of repro.yet.io.save_yet_store)
+    # ------------------------------------------------------------------ #
+    def save(self, directory: str | os.PathLike, stem: str) -> dict:
+        """Write the block's arrays under ``directory`` as raw ``.npy`` files.
+
+        Returns the JSON-compatible manifest entry :meth:`load` needs to
+        read the block back: the trial range, the member file names and
+        whether a maximum-occurrence member exists.  Raw ``.npy`` members
+        (not a zipped ``.npz``) keep the blocks independently readable and
+        memory-mappable, mirroring the YET store layout.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        losses_name = f"{stem}.losses.npy"
+        np.save(target / losses_name, self.losses)
+        entry = {
+            "trials": [self.trials.start, self.trials.stop],
+            "losses": losses_name,
+            "max_occurrence": None,
+        }
+        if self.max_occurrence is not None:
+            occ_name = f"{stem}.max_occurrence.npy"
+            np.save(target / occ_name, self.max_occurrence)
+            entry["max_occurrence"] = occ_name
+        return entry
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike, entry: Mapping[str, Any]) -> "PartialResult":
+        """Read a block previously written by :meth:`save`."""
+        source = Path(directory)
+        start, stop = (int(v) for v in entry["trials"])
+        occ_name = entry.get("max_occurrence")
+        return cls(
+            trials=TrialRange(start, stop),
+            losses=np.load(source / str(entry["losses"])),
+            max_occurrence=np.load(source / str(occ_name)) if occ_name else None,
+        )
+
 
 class ResultAccumulator:
     """Exact reduction of disjoint trial-shard partials into one result.
@@ -386,9 +428,36 @@ class ResultAccumulator:
         self._wall_seconds += other._wall_seconds
         return self
 
+    def extended(self, trials: TrialRange | int) -> "ResultAccumulator":
+        """A new accumulator over a superdomain carrying the same blocks.
+
+        The delta-recomputation entry point: when a YET gains appended
+        trials, the cached accumulator's blocks stay valid verbatim (trial
+        shards are globally indexed and per-trial reductions are
+        trial-local), so extending is pure re-domiciling —
+        :meth:`missing_ranges` of the extension is exactly the appended
+        range, and pricing only that range then merging reproduces a cold
+        monolithic run bit for bit.
+        """
+        domain = TrialRange(0, int(trials)) if isinstance(trials, int) else trials
+        if domain.start > self.trials.start or domain.stop < self.trials.stop:
+            raise ValueError(
+                f"extended domain [{domain.start}, {domain.stop}) does not "
+                f"contain the accumulated domain [{self.trials.start}, {self.trials.stop})"
+            )
+        extended = ResultAccumulator(self.n_rows, domain, row_names=self.row_names)
+        for partial in self._partials:
+            extended.add(partial)
+        return extended
+
     # ------------------------------------------------------------------ #
     # Coverage
     # ------------------------------------------------------------------ #
+    @property
+    def partials(self) -> tuple[PartialResult, ...]:
+        """The accumulated blocks in trial order (shared, not copied)."""
+        return tuple(self._ordered())
+
     @property
     def covered_trials(self) -> int:
         """Number of trials accumulated so far."""

@@ -11,8 +11,15 @@ digests), and retained multicore shared-memory workspaces; every answer is
 a uniform :class:`~repro.service.response.AnalysisResponse` carrying the
 engine results, quotes and bands plus cache and timing metadata.
 
+On top of the plan cache, an opt-in delta-aware
+:class:`~repro.service.result_cache.ResultCache` caches *accumulated
+results* for the ``run`` kind: exact repeats skip the kernel pass, and
+append-trials or changed-layer deltas re-price only the appended trial
+range or the changed stack rows — bit-identical to a cold run by the
+partial-result merge algebra.
+
 CLI entry points: ``are request`` (one JSON request round trip) and
-``are serve`` (a warm NDJSON request loop).
+``are serve`` (a warm NDJSON request loop), both taking ``--result-cache``.
 """
 
 from repro.service.cache import CacheStats, PlanCache
@@ -22,6 +29,7 @@ from repro.service.digests import (
     program_digest,
     stack_digest,
     yet_digest,
+    yet_prefix_digest,
 )
 from repro.service.request import (
     REQUEST_KINDS,
@@ -29,6 +37,7 @@ from repro.service.request import (
     RequestValidationError,
 )
 from repro.service.response import AnalysisResponse, CacheInfo
+from repro.service.result_cache import ResultCache, ResultCacheMatch, ResultCacheStats
 from repro.service.service import RiskService, candidate_variants
 
 __all__ = [
@@ -40,10 +49,14 @@ __all__ = [
     "PLAN_RELEVANT_CONFIG_FIELDS",
     "REQUEST_KINDS",
     "RequestValidationError",
+    "ResultCache",
+    "ResultCacheMatch",
+    "ResultCacheStats",
     "RiskService",
     "candidate_variants",
     "config_digest",
     "program_digest",
     "stack_digest",
     "yet_digest",
+    "yet_prefix_digest",
 ]

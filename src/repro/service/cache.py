@@ -82,15 +82,22 @@ class PlanCache:
         self.maxsize = int(maxsize)
         self._entries: "OrderedDict[Hashable, ExecutionPlan]" = OrderedDict()
         self._lock = threading.Lock()
+        # Per-key build locks: concurrent misses on the same key must run
+        # the expensive lowering exactly once (see get_or_build).  Each
+        # value is a [lock, waiter_count] pair; the entry is dropped when
+        # the last waiter leaves.
+        self._build_locks: dict[Hashable, list] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> ExecutionPlan | None:
         """The cached plan for ``key``, or ``None`` (counts a hit/miss)."""
@@ -102,6 +109,16 @@ class PlanCache:
             self._entries.move_to_end(key)
             self._hits += 1
             return plan
+
+    def peek(self, key: Hashable) -> ExecutionPlan | None:
+        """The cached plan for ``key`` without counting a hit/miss.
+
+        Does not refresh the LRU order either — a diagnostic/auxiliary read
+        (e.g. the result cache borrowing a prior plan's fused stack) must
+        not distort the cache's recency or its monitoring counters.
+        """
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: Hashable, plan: ExecutionPlan) -> None:
         """Insert (or refresh) a plan, evicting the least recently used."""
@@ -115,12 +132,34 @@ class PlanCache:
     def get_or_build(
         self, key: Hashable, builder: Callable[[], ExecutionPlan]
     ) -> Tuple[ExecutionPlan, bool]:
-        """``(plan, was_hit)`` — build and insert via ``builder`` on a miss."""
+        """``(plan, was_hit)`` — build and insert via ``builder`` on a miss.
+
+        Concurrent misses on the same key serialise on a per-key build lock
+        so the expensive lowering runs exactly once: the first thread in
+        builds and inserts, every other thread blocks on the key's lock and
+        then reads the freshly inserted plan instead of re-running
+        ``builder``.  (Misses on *different* keys still build in parallel.)
+        """
         plan = self.get(key)
         if plan is not None:
             return plan, True
-        plan = builder()
-        self.put(key, plan)
+        with self._lock:
+            entry = self._build_locks.get(key)
+            if entry is None:
+                entry = self._build_locks[key] = [threading.Lock(), 0]
+            entry[1] += 1
+        lock: threading.Lock = entry[0]
+        try:
+            with lock:
+                plan = self.peek(key)
+                if plan is None:
+                    plan = builder()
+                    self.put(key, plan)
+        finally:
+            with self._lock:
+                entry[1] -= 1
+                if entry[1] == 0:
+                    self._build_locks.pop(key, None)
         return plan, False
 
     def clear(self) -> None:

@@ -51,6 +51,7 @@ __all__ = [
     "stack_digest",
     "terms_digest",
     "yet_digest",
+    "yet_prefix_digest",
 ]
 
 #: EngineConfig fields that participate in the plan-cache key: everything
@@ -80,15 +81,30 @@ PLAN_RELEVANT_CONFIG_FIELDS: tuple[str, ...] = (
 # stacks).  WeakKeyDictionary: the memo must never keep an object alive.
 _MEMO: "weakref.WeakKeyDictionary[object, str]" = weakref.WeakKeyDictionary()
 
+# Per-YET memo of prefix digests ({prefix length: digest}).  The result
+# cache computes a prefix digest on every delta lookup against the same
+# (immutable) table object; hashing megabytes of prefix bytes per request
+# would dwarf the delta kernel pass itself.
+_PREFIX_MEMO: "weakref.WeakKeyDictionary[YearEventTable, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
 
 def clear_digest_memo() -> None:
     """Drop every memoized per-object digest (after in-place mutation)."""
     _MEMO.clear()
+    _PREFIX_MEMO.clear()
 
 
 def _hexdigest(parts: Iterable[bytes]) -> str:
     digest = hashlib.sha256()
     for part in parts:
+        # Length-prefix every part: concatenating variable-length fields
+        # without a frame is ambiguous (b"ab" + b"c" hashes like b"a" +
+        # b"bc"), so a crafted boundary shift could collide two distinct
+        # inputs.  An 8-byte big-endian length per part makes the framing
+        # injective.
+        digest.update(len(part).to_bytes(8, "big"))
         digest.update(part)
     return digest.hexdigest()
 
@@ -162,20 +178,78 @@ def program_digest(program: ReinsuranceProgram | Layer) -> str:
     )
 
 
+def _yet_parts(
+    n_trials: int,
+    catalog_size: int,
+    event_ids: np.ndarray,
+    trial_offsets: np.ndarray,
+    timestamps: np.ndarray | None,
+) -> tuple[bytes, ...]:
+    """The framed byte parts of a YET digest.
+
+    Covers *every* field of the table: the trial count, the catalog size
+    (two YETs sharing events but indexing catalogs of different width must
+    never share a key) and the timestamps — both their presence and their
+    bytes — alongside the event ids and offsets.
+    """
+    return (
+        b"yet",
+        repr(int(n_trials)).encode(),
+        repr(int(catalog_size)).encode(),
+        np.ascontiguousarray(event_ids).tobytes(),
+        np.ascontiguousarray(trial_offsets).tobytes(),
+        b"ts" if timestamps is not None else b"no-ts",
+        np.ascontiguousarray(timestamps).tobytes() if timestamps is not None else b"",
+    )
+
+
 def yet_digest(yet: YearEventTable) -> str:
     """Content digest of a Year Event Table (memoized per object)."""
     cached = _MEMO.get(yet)
     if cached is not None:
         return cached
     digest = _hexdigest(
-        (
-            b"yet",
-            repr(int(yet.n_trials)).encode(),
-            np.ascontiguousarray(yet.event_ids).tobytes(),
-            np.ascontiguousarray(yet.trial_offsets).tobytes(),
+        _yet_parts(
+            yet.n_trials, yet.catalog_size, yet.event_ids, yet.trial_offsets, yet.timestamps
         )
     )
     _MEMO[yet] = digest
+    return digest
+
+
+def yet_prefix_digest(yet: YearEventTable, n_trials: int) -> str:
+    """Digest of the first ``n_trials`` trials of ``yet``.
+
+    Equals :func:`yet_digest` of ``yet.slice_trials(0, n_trials)`` without
+    materialising the slice: a prefix of a YET keeps its offsets verbatim
+    (they already start at 0), so the sliced columns are pure views.  This
+    is how the :class:`~repro.service.result_cache.ResultCache` recognises
+    an **append-trials delta** — a submitted YET whose first ``n`` trials
+    are byte-identical to a YET it already holds results for.
+    """
+    if not 0 <= n_trials <= yet.n_trials:
+        raise ValueError(
+            f"prefix length {n_trials} outside [0, {yet.n_trials}]"
+        )
+    if n_trials == yet.n_trials:
+        return yet_digest(yet)
+    memo = _PREFIX_MEMO.get(yet)
+    if memo is None:
+        memo = _PREFIX_MEMO[yet] = {}
+    cached = memo.get(n_trials)
+    if cached is not None:
+        return cached
+    stop = int(yet.trial_offsets[n_trials])
+    digest = _hexdigest(
+        _yet_parts(
+            n_trials,
+            yet.catalog_size,
+            yet.event_ids[:stop],
+            yet.trial_offsets[: n_trials + 1],
+            yet.timestamps[:stop] if yet.timestamps is not None else None,
+        )
+    )
+    memo[n_trials] = digest
     return digest
 
 

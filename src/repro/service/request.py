@@ -113,6 +113,11 @@ class AnalysisRequest:
     quote:
         Attach technical-premium :class:`~repro.portfolio.pricing.ProgramQuote`
         objects to the response where the kind supports them.
+    result_cache:
+        Let the service answer a ``run`` request from its delta-aware
+        result cache (when the service has one).  Set ``False`` to force a
+        full kernel pass for this request; the pass still populates the
+        plan cache, but neither consults nor updates the result cache.
     tags:
         Free-form client metadata echoed back on the response.
     """
@@ -135,6 +140,7 @@ class AnalysisRequest:
     tvar_levels: tuple[float, ...] = (0.99,)
     seed: int | None = None
     quote: bool = True
+    result_cache: bool = True
     tags: Mapping[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #

@@ -82,7 +82,8 @@ class AnalysisResponse:
         Name of the backend that executed the request.
     details:
         Kind-specific JSON-compatible extras (e.g. the per-block shapes of
-        a sweep).
+        a sweep, or the ``"result_cache"`` payload of a result-cache-served
+        ``run`` — see :attr:`result_cache`).
     """
 
     request: AnalysisRequest
@@ -113,6 +114,17 @@ class AnalysisResponse:
         """End-to-end service time of the request."""
         return float(self.timings.get("total", 0.0))
 
+    @property
+    def result_cache(self) -> Mapping[str, Any] | None:
+        """How the result cache served this request (``None`` when unused).
+
+        A mapping with ``"status"`` (``"exact"``/``"append"``/``"rows"``/
+        ``"miss"``), the delta shape (``"repriced_trials"`` or
+        ``"repriced_rows"``), and a ``"stats"`` counter snapshot; rides in
+        :attr:`details` so it reaches ``are serve`` clients via ``to_dict``.
+        """
+        return self.details.get("result_cache") if self.details else None
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         parts = [f"{self.kind} on {self.backend}"]
@@ -120,6 +132,9 @@ class AnalysisResponse:
             parts.append(f"{len(self.results)} results")
         if self.cache is not None:
             parts.append(self.cache.summary())
+        result_cache = self.result_cache
+        if result_cache is not None:
+            parts.append(f"result-cache {result_cache.get('status', '?')}")
         parts.append(f"{self.total_seconds:.4f}s")
         return " | ".join(parts)
 

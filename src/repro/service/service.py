@@ -17,7 +17,14 @@ requests:
   the cold one by construction (same plan object, same kernels);
 * it resolves declarative :class:`~repro.service.request.AnalysisRequest`
   documents against a registry of named artifacts (programs, YETs, stacks,
-  uncertain layers) with the built-in workload presets as fallback.
+  uncertain layers) with the built-in workload presets as fallback;
+* optionally (``result_cache=True`` / ``result_cache_dir=...``) it keeps a
+  delta-aware :class:`~repro.service.result_cache.ResultCache` of
+  accumulated results for the ``run`` kind: an exact repeat skips the
+  kernel pass entirely, a YET extended by appended trials re-prices only
+  the appended range, and a program differing in a subset of its layers
+  re-prices only the changed stack rows — each served result bit-identical
+  to the cold monolithic run by the partial-result merge algebra.
 
 Example::
 
@@ -37,6 +44,7 @@ and ``are serve`` for a warm NDJSON request loop).
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -47,14 +55,16 @@ import numpy as np
 from repro.core.config import EngineConfig
 from repro.core.engine import AggregateRiskEngine
 from repro.core.plan import ExecutionPlan, PlanBuilder
-from repro.core.results import EngineResult
+from repro.core.results import EngineResult, PartialResult, ResultAccumulator
 from repro.financial.terms import LayerTerms
+from repro.parallel.partitioner import TrialRange
 from repro.portfolio.layer import Layer
 from repro.portfolio.pricing import ProgramQuote, price_program
 from repro.portfolio.program import ReinsuranceProgram
 from repro.service.cache import CacheStats, PlanCache
 from repro.service.digests import (
     config_digest,
+    layer_digest,
     program_digest,
     stack_digest,
     terms_digest,
@@ -62,6 +72,7 @@ from repro.service.digests import (
 )
 from repro.service.request import AnalysisRequest, RequestValidationError
 from repro.service.response import AnalysisResponse, CacheInfo
+from repro.service.result_cache import ResultCache, ResultCacheMatch, ResultCacheStats
 from repro.yet.table import YearEventTable
 
 __all__ = ["RiskService", "candidate_variants"]
@@ -155,6 +166,17 @@ class RiskService:
         Maximum number of lowered plans kept warm (LRU).
     volatility_loading, expense_ratio:
         Pricing parameters applied to every quote the service produces.
+    result_cache:
+        Delta-aware caching of accumulated results for the ``run`` kind
+        (:class:`~repro.service.result_cache.ResultCache`).  ``False``/
+        ``None`` disables it (the default — plan caching alone), ``True``
+        enables an in-memory cache, or pass a configured instance.  When
+        ``result_cache_dir`` is given the cache defaults to enabled with
+        that persistent tier.
+    result_cache_dir:
+        Directory of the result cache's on-disk tier (optional).
+    result_cache_size:
+        Maximum number of accumulated results kept resident (LRU).
     """
 
     def __init__(
@@ -164,10 +186,19 @@ class RiskService:
         cache_size: int = 32,
         volatility_loading: float = 0.3,
         expense_ratio: float = 0.15,
+        result_cache: "ResultCache | bool | None" = None,
+        result_cache_dir: str | os.PathLike | None = None,
+        result_cache_size: int = 16,
     ) -> None:
         self.engine = engine if engine is not None else AggregateRiskEngine(config)
         self.engine.retain_shared_workspaces(True)
         self.cache = PlanCache(cache_size)
+        if isinstance(result_cache, ResultCache):
+            self.result_cache: ResultCache | None = result_cache
+        elif result_cache or (result_cache is None and result_cache_dir is not None):
+            self.result_cache = ResultCache(result_cache_size, disk_dir=result_cache_dir)
+        else:
+            self.result_cache = None
         self.volatility_loading = float(volatility_loading)
         self.expense_ratio = float(expense_ratio)
         self._programs: Dict[str, ReinsuranceProgram] = {}
@@ -294,9 +325,17 @@ class RiskService:
         """Plan-cache counters for monitoring/benchmarks."""
         return self.cache.stats
 
+    def result_cache_stats(self) -> ResultCacheStats | None:
+        """Result-cache counters (``None`` when the cache is disabled)."""
+        if self.result_cache is None:
+            return None
+        return self.result_cache.stats
+
     def close(self) -> None:
         """Release cached plans and any retained shared-memory workspaces."""
         self.cache.clear()
+        if self.result_cache is not None:
+            self.result_cache.clear()
         self.engine.release_workspaces()
 
     def __enter__(self) -> "RiskService":
@@ -381,6 +420,8 @@ class RiskService:
         program, companion = self._resolve_program(request.program, request.seed)
         yet = self._resolve_yet(request, companion)
         key = self._program_key("run", [program], yet, request.shards)
+        if self.result_cache is not None and request.result_cache:
+            return self._run_with_result_cache(request, program, yet, key, acct)
         plan, lower_seconds = self._cached_plan(
             key,
             lambda: PlanBuilder.from_program(program, yet, n_shards=request.shards),
@@ -395,6 +436,239 @@ class RiskService:
             results=(result,),
             quotes=self._quotes_for(request, [program], [result]),
             timings={"lower": lower_seconds, "execute": execute_seconds},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Result-cache serving (the exact/append/row delta paths of `run`)
+    # ------------------------------------------------------------------ #
+    def _run_with_result_cache(
+        self,
+        request: AnalysisRequest,
+        program: ReinsuranceProgram,
+        yet: YearEventTable,
+        plan_key: tuple,
+        acct: _CacheAccounting,
+    ) -> AnalysisResponse:
+        cache = self.result_cache
+        assert cache is not None
+        started = time.perf_counter()
+        pdig, ydig = plan_key[1][0], plan_key[2]
+        # request.shards is scheduling, not semantics (merged results are
+        # bit-identical for every shard count), but folding it into the
+        # config component keeps entries one-to-one with plan-cache keys.
+        rc_config = f"{plan_key[3]}|shards={request.shards}"
+        row_digests = tuple(layer_digest(layer) for layer in program.layers)
+        match = cache.lookup(
+            program_digest=pdig,
+            config_digest=rc_config,
+            yet=yet,
+            row_digests=row_digests,
+        )
+
+        if match.status == "exact":
+            result = match.accumulator.finalize(
+                self.engine.backend_name,
+                wall_seconds=0.0,
+                workload_shape=self._workload_shape_for(program, yet),
+                details={"result_cache": {"status": "exact"}},
+            )
+            info = {"status": "exact", "repriced_trials": 0}
+            return self._result_cache_response(
+                request, program, result, info, time.perf_counter() - started, 0.0
+            )
+        if match.status == "append":
+            return self._serve_append_delta(
+                request, program, yet, plan_key, acct, match, rc_config, row_digests
+            )
+        if match.status == "rows":
+            return self._serve_row_delta(
+                request, program, yet, plan_key, acct, match, rc_config, row_digests
+            )
+
+        plan, lower_seconds = self._cached_plan(
+            plan_key,
+            lambda: PlanBuilder.from_program(program, yet, n_shards=request.shards),
+            acct,
+            pdig[:12],
+        )
+        executed = time.perf_counter()
+        result = self.engine.run_plan(plan)
+        execute_seconds = time.perf_counter() - executed
+        accumulator = ResultAccumulator.for_plan(plan)
+        accumulator.add_result(result, plan.trials)
+        cache.store(
+            program_digest=pdig,
+            yet_digest=ydig,
+            config_digest=rc_config,
+            accumulator=accumulator,
+            row_digests=row_digests,
+            plan_key=plan_key,
+        )
+        info = {"status": "miss"}
+        return self._result_cache_response(
+            request, program, result, info, lower_seconds, execute_seconds
+        )
+
+    def _serve_append_delta(
+        self,
+        request: AnalysisRequest,
+        program: ReinsuranceProgram,
+        yet: YearEventTable,
+        plan_key: tuple,
+        acct: _CacheAccounting,
+        match: ResultCacheMatch,
+        rc_config: str,
+        row_digests: tuple,
+    ) -> AnalysisResponse:
+        """Price only the appended trial range, merge over the cached blocks.
+
+        Bit-identical to a cold monolithic run by the accumulator algebra:
+        the cached blocks are the old trials' columns verbatim, and per-trial
+        reductions are trial-local, so pricing the appended range and
+        merging is pure column placement.
+        """
+        cache = self.result_cache
+        assert cache is not None
+        accumulator = match.accumulator  # extended over [0, yet.n_trials)
+        plan, lower_seconds = self._cached_plan(
+            plan_key,
+            lambda: PlanBuilder.from_program(program, yet, n_shards=request.shards),
+            acct,
+            plan_key[1][0][:12],
+        )
+        # The fused stack is YET-independent; borrow the base entry's still-
+        # warm plan stack so the delta pass skips the n_rows x catalog build.
+        if plan.cached_stack is None and match.plan_key is not None:
+            prior = self.cache.peek(match.plan_key)
+            if prior is not None and prior.cached_stack is not None:
+                plan.adopt_stack(prior.cached_stack)
+        executed = time.perf_counter()
+        repriced = 0
+        for gap in accumulator.missing_ranges():
+            accumulator.add_result(self.engine.run_plan(plan.restrict(gap)), gap)
+            repriced += gap.size
+        execute_seconds = time.perf_counter() - executed
+        result = accumulator.finalize(
+            self.engine.backend_name,
+            wall_seconds=execute_seconds,
+            workload_shape=plan.workload_shape(),
+            details={"result_cache": {"status": "append", "repriced_trials": repriced}},
+        )
+        cache.store(
+            program_digest=plan_key[1][0],
+            yet_digest=plan_key[2],
+            config_digest=rc_config,
+            accumulator=accumulator,
+            row_digests=row_digests,
+            plan_key=plan_key,
+        )
+        info = {
+            "status": "append",
+            "repriced_trials": repriced,
+            "cached_trials": yet.n_trials - repriced,
+        }
+        return self._result_cache_response(
+            request, program, result, info, lower_seconds, execute_seconds
+        )
+
+    def _serve_row_delta(
+        self,
+        request: AnalysisRequest,
+        program: ReinsuranceProgram,
+        yet: YearEventTable,
+        plan_key: tuple,
+        acct: _CacheAccounting,
+        match: ResultCacheMatch,
+        rc_config: str,
+        row_digests: tuple,
+    ) -> AnalysisResponse:
+        """Re-price only the changed stack rows, scatter over cached columns.
+
+        Every kernel path computes stack rows independently (the fused-vs-
+        per-layer conformance invariant), so the composed table equals a
+        cold run of the full program bit for bit.
+        """
+        cache = self.result_cache
+        assert cache is not None
+        changed = list(match.changed_rows)
+        sub_program = program.subset(changed)
+        sub_key = self._program_key("run", [sub_program], yet, request.shards)
+        plan, lower_seconds = self._cached_plan(
+            sub_key,
+            lambda: PlanBuilder.from_program(sub_program, yet, n_shards=request.shards),
+            acct,
+            sub_key[1][0][:12],
+        )
+        executed = time.perf_counter()
+        delta_result = self.engine.run_plan(plan)
+        execute_seconds = time.perf_counter() - executed
+        base = match.accumulator
+        # year_losses() returns the single block itself when one block spans
+        # the domain — copy before scattering the re-priced rows in.
+        losses = base.year_losses().copy()
+        losses[changed] = delta_result.ylt.losses
+        occ = base.max_occurrence_losses()
+        delta_occ = delta_result.ylt.max_occurrence_losses
+        if occ is not None and delta_occ is not None:
+            occ = occ.copy()
+            occ[changed] = delta_occ
+        else:
+            occ = None
+        accumulator = ResultAccumulator(
+            program.n_layers, TrialRange(0, yet.n_trials), row_names=program.layer_names
+        )
+        accumulator.add(PartialResult(TrialRange(0, yet.n_trials), losses, occ))
+        result = accumulator.finalize(
+            self.engine.backend_name,
+            wall_seconds=execute_seconds,
+            workload_shape=self._workload_shape_for(program, yet),
+            details={"result_cache": {"status": "rows", "repriced_rows": changed}},
+        )
+        cache.store(
+            program_digest=plan_key[1][0],
+            yet_digest=plan_key[2],
+            config_digest=rc_config,
+            accumulator=accumulator,
+            row_digests=row_digests,
+            plan_key=plan_key,
+        )
+        info = {
+            "status": "rows",
+            "repriced_rows": changed,
+            "cached_rows": program.n_layers - len(changed),
+        }
+        return self._result_cache_response(
+            request, program, result, info, lower_seconds, execute_seconds
+        )
+
+    def _workload_shape_for(self, program: ReinsuranceProgram, yet: YearEventTable):
+        from repro.parallel.device import WorkloadShape
+
+        return WorkloadShape(
+            n_trials=yet.n_trials,
+            events_per_trial=max(yet.mean_events_per_trial, 1e-9),
+            n_elts=max(int(round(program.mean_elts_per_layer)), 1),
+            n_layers=program.n_layers,
+        )
+
+    def _result_cache_response(
+        self,
+        request: AnalysisRequest,
+        program: ReinsuranceProgram,
+        result: EngineResult,
+        info: dict,
+        lower_seconds: float,
+        execute_seconds: float,
+    ) -> AnalysisResponse:
+        assert self.result_cache is not None
+        info = dict(info)
+        info["stats"] = self.result_cache.stats.to_dict()
+        return AnalysisResponse(
+            request=request,
+            results=(result,),
+            quotes=self._quotes_for(request, [program], [result]),
+            timings={"lower": lower_seconds, "execute": execute_seconds},
+            details={"result_cache": info},
         )
 
     def _batch_programs(

@@ -28,7 +28,13 @@ import numpy as np
 from repro.parallel.partitioner import TrialRange, shard_partition
 from repro.yet.table import YearEventTable
 
-__all__ = ["save_yet", "load_yet", "save_yet_store", "YetShardReader"]
+__all__ = [
+    "save_yet",
+    "load_yet",
+    "save_yet_store",
+    "shard_count_for_budget",
+    "YetShardReader",
+]
 
 _FORMAT_VERSION = 1
 
@@ -73,6 +79,24 @@ def load_yet(path: str | os.PathLike) -> YearEventTable:
         trial_offsets = data["trial_offsets"]
         timestamps = data["timestamps"] if has_timestamps else None
     return YearEventTable(event_ids, trial_offsets, catalog_size, timestamps)
+
+
+def shard_count_for_budget(event_bytes: int, max_shard_bytes: int) -> int:
+    """Smallest shard count keeping one shard's event columns within a budget.
+
+    ``ceil(event_bytes / max_shard_bytes)``, floored at one shard.  Shards
+    are nearly equal in *trials*, not bytes, so a skewed table can exceed
+    the budget on its densest shard; the estimate targets the mean.  The
+    one shared implementation behind both
+    :meth:`YetShardReader.shard_count_for_budget` and the in-memory
+    ``max_shard_bytes`` branch of
+    :meth:`~repro.core.engine.AggregateRiskEngine.run_sharded`.
+    """
+    if max_shard_bytes <= 0:
+        raise ValueError(f"max_shard_bytes must be positive, got {max_shard_bytes}")
+    if event_bytes <= 0:
+        return 1
+    return max(1, -(-int(event_bytes) // int(max_shard_bytes)))
 
 
 def save_yet_store(yet: YearEventTable, path: str | os.PathLike) -> Path:
@@ -167,14 +191,10 @@ class YetShardReader:
     def shard_count_for_budget(self, max_shard_bytes: int) -> int:
         """Smallest shard count keeping one shard's columns within a byte budget.
 
-        Shards are nearly equal in *trials*, not bytes, so a skewed table can
-        exceed the budget on its densest shard; the estimate targets the mean.
+        Delegates to the module-level :func:`shard_count_for_budget` with
+        the stored table's event-column bytes.
         """
-        if max_shard_bytes <= 0:
-            raise ValueError(f"max_shard_bytes must be positive, got {max_shard_bytes}")
-        if self.event_bytes == 0:
-            return 1
-        return max(1, -(-self.event_bytes // max_shard_bytes))
+        return shard_count_for_budget(self.event_bytes, max_shard_bytes)
 
     # ------------------------------------------------------------------ #
     # Shard access
@@ -193,9 +213,12 @@ class YetShardReader:
         """
         event_ids = self._require_open()
         if not 0 <= trials.start <= trials.stop <= self.n_trials:
+            # stop == n_trials is valid (the range is trials [start, stop),
+            # so stop may equal the trial count) — report the bound as
+            # inclusive, not as [0, n_trials).
             raise IndexError(
                 f"shard range [{trials.start}, {trials.stop}) outside "
-                f"[0, {self.n_trials})"
+                f"0 <= start <= stop <= {self.n_trials}"
             )
         lo = int(self.trial_offsets[trials.start])
         hi = int(self.trial_offsets[trials.stop])

@@ -99,6 +99,19 @@ class YearEventTable:
         return self.n_occurrences / self.n_trials
 
     @property
+    def event_bytes(self) -> int:
+        """Bytes of the per-occurrence columns (event ids + timestamps).
+
+        The quantity a per-shard byte budget divides
+        (:func:`~repro.yet.io.shard_count_for_budget`); excludes the tiny
+        offsets vector, matching :attr:`YetShardReader.event_bytes`.
+        """
+        total = self.event_ids.nbytes
+        if self.timestamps is not None:
+            total += self.timestamps.nbytes
+        return int(total)
+
+    @property
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the stored arrays."""
         total = self.event_ids.nbytes + self.trial_offsets.nbytes
