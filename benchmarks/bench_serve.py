@@ -1,0 +1,271 @@
+"""Concurrent serving vs per-client serial loops: latency and throughput.
+
+The asyncio front end (:mod:`repro.service.server`) exists so the warm
+caches actually serve traffic: one process multiplexes every client over a
+single :class:`~repro.service.service.RiskService`, so the plan cache that
+client A warmed answers client B's identical question at warm-hit cost.
+The pre-PR alternative was the serial NDJSON stdin loop — a single-tenant
+pipe, so each concurrent client needs its own loop with its own cold
+caches, and every distinct question pays full lowering again.
+
+This harness pins that down on the 16-layer serving preset with a hot
+working set: 8 clients that each ask the same 12 distinct questions —
+candidate-term variants of one book (distinct content digests, so nothing
+short-circuits through content-addressed caching):
+
+* ``test_serve_bit_identity`` — the correctness half, kept on in CI and
+  parametrized over every backend: answers served concurrently over TCP
+  are bit-identical to serial in-process submission;
+* ``test_concurrent_serving_speedup`` — the acceptance gate (deselected in
+  CI like the other timing gates): under 8 concurrent pipelined clients
+  the server-side p99 processing latency stays within 3x the serial
+  loop's p50, and aggregate throughput is at least 2x the per-client
+  serial loops.  Emits ``BENCH_serve.json``.
+
+The serial baseline includes the JSON round trip (``to_dict`` + dumps) the
+NDJSON protocol performs per line and is charged nothing for process
+start-up — the comparison is loop vs loop on warm Python.  The server-side
+percentiles clock lowering + execution only (executor-slot wait is
+reported separately as ``pending``), so the latency gate catches the
+failure mode concurrency can actually introduce here: a lock serialising
+the serving path and dilating every request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import BACKEND_NAMES, EngineConfig
+from repro.financial.terms import LayerTerms
+from repro.portfolio.program import ReinsuranceProgram
+from repro.service import RiskService
+from repro.service.server import ServeClient, ServerThread
+
+from .conftest import build_workload
+from .record import record_benchmark
+
+SERVE_TRIALS = 200
+SERVE_EVENTS = 40
+SERVE_LAYERS = 16
+SERVE_ELTS = 8
+SERVE_CATALOG = 40_000
+
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 12
+#: Requests each client keeps outstanding on its connection (pipelining).
+PIPELINE_WINDOW = 2
+MAX_INFLIGHT = 2  # the `are serve` default; one core gains nothing from more
+QUEUE_DEPTH = N_CLIENTS * PIPELINE_WINDOW  # admit every pipelined request
+
+#: The hot working set: candidate-term variants of the registered book.
+#: Scaling the occurrence retentions changes the program digest, so each
+#: variant lowers to its own plan — cold in every single-tenant loop, a
+#: shared warm hit on the server.
+DOCUMENTS = [
+    {"kind": "run", "program": f"book-{i}"} for i in range(REQUESTS_PER_CLIENT)
+]
+
+
+def _workload(n_layers: int = SERVE_LAYERS, n_trials: int = SERVE_TRIALS):
+    return build_workload(
+        n_trials=n_trials,
+        events_per_trial=SERVE_EVENTS,
+        n_layers=n_layers,
+        elts_per_layer=SERVE_ELTS,
+        catalog_size=SERVE_CATALOG,
+    )
+
+
+def _term_variant(program: ReinsuranceProgram, scale: float) -> ReinsuranceProgram:
+    layers = []
+    for layer in program.layers:
+        terms = layer.terms
+        layers.append(
+            layer.with_terms(
+                LayerTerms(
+                    occurrence_retention=terms.occurrence_retention * scale,
+                    occurrence_limit=terms.occurrence_limit,
+                    aggregate_retention=terms.aggregate_retention,
+                    aggregate_limit=terms.aggregate_limit,
+                )
+            )
+        )
+    return ReinsuranceProgram(layers, name=program.name)
+
+
+def _service(workload, backend: str = "vectorized") -> RiskService:
+    service = RiskService(
+        EngineConfig(backend=backend, n_workers=2 if backend == "multicore" else 1)
+    )
+    service.register_workload("book", workload)
+    for i in range(REQUESTS_PER_CLIENT):
+        variant = _term_variant(workload.program, 1.0 + 0.02 * i)
+        service.register_program(f"book-{i}", variant)
+        service.register_yet(f"book-{i}", workload.yet)
+    return service
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    rank = max(int(np.ceil(q * len(ordered))) - 1, 0)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def _round_trip(service: RiskService, document: dict) -> float:
+    """One NDJSON-loop iteration: submit + serialise, returning the AAL."""
+    line = json.dumps(service.submit(dict(document)).to_dict(), sort_keys=True)
+    return json.loads(line)["results"][0]["portfolio_aal"]
+
+
+def _serial_loops(workload):
+    """(latencies, throughput, per-document AALs) of one fresh loop per client."""
+    latencies = []
+    reference: list[float] = []
+    started = time.perf_counter()
+    for _ in range(N_CLIENTS):
+        reference = []
+        with _service(workload) as service:  # single-tenant loop: cold caches
+            for document in DOCUMENTS:
+                t0 = time.perf_counter()
+                reference.append(_round_trip(service, document))
+                latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - started
+    return latencies, len(latencies) / wall, reference
+
+
+def _concurrent_clients(workload):
+    """(server stats, throughput, per-document AAL sets) under pipelined clients."""
+    with _service(workload) as service:
+        # Warm serving: the steady state the server exists for.  One pass
+        # over the working set fills the shared plan cache.
+        for document in DOCUMENTS:
+            service.submit(dict(document))
+        with ServerThread(
+            service, max_inflight=MAX_INFLIGHT, queue_depth=QUEUE_DEPTH
+        ) as handle:
+            host, port = handle.server.host, handle.server.port
+            barrier = threading.Barrier(N_CLIENTS + 1)
+            aals: dict[int, set] = {i: set() for i in range(REQUESTS_PER_CLIENT)}
+            aals_lock = threading.Lock()
+            failures: list = []
+
+            def drive(client_index: int) -> None:
+                try:
+                    with ServeClient(host, port) as client:
+                        barrier.wait()
+                        sent = received = 0
+                        while received < REQUESTS_PER_CLIENT:
+                            while (
+                                sent < REQUESTS_PER_CLIENT
+                                and sent - received < PIPELINE_WINDOW
+                            ):
+                                client.send({**DOCUMENTS[sent], "id": sent})
+                                sent += 1
+                            answer = client.recv()
+                            received += 1
+                            if "error" in answer:
+                                failures.append(answer)
+                            else:
+                                with aals_lock:
+                                    aals[answer["id"]].add(
+                                        answer["results"][0]["portfolio_aal"]
+                                    )
+                except Exception as exc:  # noqa: BLE001 - surface in the main thread
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=drive, args=(i,), daemon=True)
+                for i in range(N_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join(timeout=300)
+            wall = time.perf_counter() - started
+            with ServeClient(host, port) as client:
+                stats = client.request({"op": "stats"})["stats"]
+    assert not failures, f"concurrent serving failed: {failures[:3]}"
+    throughput = (N_CLIENTS * REQUESTS_PER_CLIENT) / wall
+    return stats, throughput, aals
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_serve_bit_identity(backend):
+    """Correctness half of the gate (kept on in CI): TCP == serial, per backend."""
+    workload = _workload(n_layers=4, n_trials=100)
+    document = {"kind": "run", "program": "book"}
+    with _service(workload, backend) as serial_service:
+        serial = serial_service.submit(dict(document)).to_dict()
+
+    with _service(workload, backend) as service:
+        with ServerThread(service, max_inflight=4, queue_depth=16) as handle:
+            with ServeClient(handle.server.host, handle.server.port) as client:
+                for i in range(6):
+                    client.send({**document, "id": i})
+                answers = [client.recv() for _ in range(6)]
+    for answer in answers:
+        assert "error" not in answer
+        assert answer["results"][0]["portfolio_aal"] == serial["results"][0]["portfolio_aal"]
+        assert answer["results"][0]["n_trials"] == serial["results"][0]["n_trials"]
+
+
+def test_concurrent_serving_speedup():
+    """Acceptance: 8 pipelined clients — p99 <= 3x serial p50, throughput >= 2x."""
+    workload = _workload()
+    serial_latencies, serial_throughput, reference = _serial_loops(workload)
+    serial_p50 = _percentile(serial_latencies, 0.50)
+
+    stats, throughput, aals = _concurrent_clients(workload)
+    assert stats["rejected"] == 0  # the queue was sized to admit everything
+    # Bit-identity while concurrent: every client got the serial answer for
+    # every variant (one distinct AAL per document, equal to the reference).
+    for i, serial_aal in enumerate(reference):
+        assert aals[i] == {serial_aal}
+
+    p99 = stats["p99_seconds"]
+    throughput_gain = throughput / serial_throughput
+    record_benchmark(
+        "serve",
+        backend="vectorized",
+        shape={
+            "n_trials": SERVE_TRIALS,
+            "events_per_trial": SERVE_EVENTS,
+            "n_layers": SERVE_LAYERS,
+            "elts_per_layer": SERVE_ELTS,
+            "catalog_size": SERVE_CATALOG,
+            "n_clients": N_CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "pipeline_window": PIPELINE_WINDOW,
+            "max_inflight": MAX_INFLIGHT,
+            "queue_depth": QUEUE_DEPTH,
+        },
+        baseline_seconds=1.0 / serial_throughput,
+        candidate_seconds=1.0 / throughput,
+        threshold=2.0,
+        meta={
+            "baseline": "per-client serial NDJSON loops (single-tenant, cold caches)",
+            "candidate": "one warm asyncio server multiplexing 8 pipelined clients",
+            "serial_p50_seconds": serial_p50,
+            "serial_throughput_rps": serial_throughput,
+            "concurrent_p50_seconds": stats["p50_seconds"],
+            "concurrent_p99_seconds": p99,
+            "concurrent_throughput_rps": throughput,
+            "p99_vs_serial_p50": p99 / serial_p50,
+            "latency_threshold": "p99 processing latency <= 3x serial p50",
+        },
+    )
+    assert p99 <= 3.0 * serial_p50, (
+        f"concurrent p99 {p99 * 1e3:.1f}ms exceeds 3x serial p50 "
+        f"{serial_p50 * 1e3:.1f}ms under {N_CLIENTS} pipelined clients"
+    )
+    assert throughput_gain >= 2.0, (
+        f"concurrent throughput is only {throughput_gain:.2f}x the serial loops "
+        f"({throughput:.1f} vs {serial_throughput:.1f} req/s)"
+    )

@@ -45,7 +45,9 @@ poke at the engine without writing Python).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -53,6 +55,7 @@ from repro.core.config import BACKEND_NAMES, EngineConfig
 from repro.core.projection import CPUCostModel, project_summary
 from repro.parallel.device import WorkloadShape
 from repro.service import AnalysisRequest, RequestValidationError, RiskService
+from repro.service.response import error_payload
 from repro.uncertainty import LossDistributionFamily
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.presets import preset, preset_names
@@ -75,6 +78,18 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
+
+
+def _listen_address(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r} (use :0 for an ephemeral port)"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"port must be an integer, got {port!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -175,9 +190,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve",
-        help="serve JSON requests from stdin line by line (NDJSON) on one warm service",
+        help="serve JSON requests from stdin line by line (NDJSON) on one warm service, "
+             "or concurrently over TCP with --listen",
     )
     _add_service_arguments(serve)
+    serve.add_argument(
+        "--listen", type=_listen_address, metavar="HOST:PORT", default=None,
+        help="serve NDJSON (+ HTTP /stats, /submit) over TCP instead of stdin; "
+             "requests run concurrently on an executor pool (port 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=_positive_int, default=2, metavar="N",
+        help="executor width with --listen: requests executing concurrently (default 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=_non_negative_int, default=16, metavar="N",
+        help="requests allowed to wait beyond the executing ones before admission "
+             "control answers {\"error\": {\"type\": \"Overloaded\"}} (default 16)",
+    )
 
     project = subparsers.add_parser(
         "project", help="project full-scale runtimes with the analytical cost models"
@@ -416,37 +446,89 @@ def _command_request(args: argparse.Namespace) -> int:
             **_result_cache_kwargs(args),
         ) as service:
             response = service.submit(document)
-    except RequestValidationError as exc:
+    except (RequestValidationError, json.JSONDecodeError) as exc:
+        # from_json wraps decode errors in RequestValidationError, but a
+        # document that fails to decode before reaching the service (or a
+        # future path that re-raises the original) must exit 2 identically.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(json.dumps(response.to_dict(), indent=2 if args.pretty else None, sort_keys=True))
     return 0
 
 
-def _serve_error_payload(exc: Exception) -> dict:
-    """Structured NDJSON error envelope for one failed request line.
+def _serve_stats_line(answered: int, service: RiskService) -> str:
+    stats_line = f"served {answered} requests | {service.cache_stats().summary()}"
+    result_cache_stats = service.result_cache_stats()
+    if result_cache_stats is not None:
+        stats_line += f" | {result_cache_stats.summary()}"
+    return stats_line
 
-    Carries the exception type and, for schema errors, the offending field,
-    so callers can handle failures programmatically instead of parsing
-    message strings.
-    """
-    error = {"message": str(exc), "type": type(exc).__name__}
-    field = getattr(exc, "field", None)
-    if field is not None:
-        error["field"] = field
-    return {"error": error}
+
+def _serve_listen(args: argparse.Namespace) -> int:
+    """Concurrent TCP serving: asyncio front end over an executor pool."""
+    import asyncio
+
+    from repro.service.server import RiskServer
+
+    host, port = args.listen
+    exit_code = 0
+    with RiskService(
+        config=_build_config(args),
+        cache_size=args.cache_size,
+        **_result_cache_kwargs(args),
+    ) as service:
+        server = RiskServer(
+            service,
+            host=host,
+            port=port,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+        )
+
+        async def _main() -> None:
+            await server.start()
+            print(
+                f"listening on {server.host}:{server.port} ({args.backend}, "
+                f"max in-flight {server.max_inflight}, "
+                f"queue depth {server.queue_depth}); NDJSON or HTTP, "
+                "SIGINT/SIGTERM drains",
+                file=sys.stderr,
+                flush=True,
+            )
+            await server.run(install_signal_handlers=True)
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            # add_signal_handler normally absorbs SIGINT into a graceful
+            # drain; this is the fallback when it is unavailable.
+            exit_code = 130
+        finally:
+            with contextlib.suppress(Exception):
+                print(
+                    f"{server.stats.summary()} | {service.cache_stats().summary()}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+    return exit_code
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    """Answer NDJSON requests from stdin on one warm service (one JSON line each).
+    """Answer NDJSON requests on one warm service (stdin loop or TCP).
 
-    The loop is crash-proof per line: a malformed request line — bad JSON, a
-    schema violation, or any error the engine raises while executing it —
-    answers with a structured ``{"error": {...}}`` line and the warm service
-    keeps serving.  Every response line is flushed immediately so a pipe
-    driving the loop sees each answer as soon as it exists.
+    The stdin loop is crash-proof per line: a malformed request line — bad
+    JSON, a schema violation, or any error the engine raises while executing
+    it — answers with a structured ``{"error": {...}}`` line and the warm
+    service keeps serving.  Every response line is flushed immediately so a
+    pipe driving the loop sees each answer as soon as it exists.  Ctrl-C and
+    a reader that goes away (broken pipe) both end the loop cleanly: the
+    final stats line always reaches stderr, and the exit code is 130 for
+    SIGINT (the shell convention) and 0 for a vanished reader.
     """
+    if args.listen is not None:
+        return _serve_listen(args)
     answered = 0
+    exit_code = 0
     with RiskService(
         config=_build_config(args),
         cache_size=args.cache_size,
@@ -462,23 +544,32 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
             flush=True,
         )
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                response = service.submit(line)
-            except Exception as exc:  # noqa: BLE001 - the loop must survive any request
-                print(json.dumps(_serve_error_payload(exc)), flush=True)
-                continue
-            print(json.dumps(response.to_dict(), sort_keys=True), flush=True)
-            answered += 1
-        stats_line = f"served {answered} requests | {service.cache_stats().summary()}"
-        result_cache_stats = service.result_cache_stats()
-        if result_cache_stats is not None:
-            stats_line += f" | {result_cache_stats.summary()}"
-        print(stats_line, file=sys.stderr, flush=True)
-    return 0
+        try:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    response = service.submit(line)
+                except Exception as exc:  # noqa: BLE001 - the loop must survive any request
+                    print(json.dumps(error_payload(exc)), flush=True)
+                    continue
+                print(json.dumps(response.to_dict(), sort_keys=True), flush=True)
+                answered += 1
+        except KeyboardInterrupt:
+            exit_code = 130
+        except BrokenPipeError:
+            # The reader went away; stop quietly and keep stdout's dying
+            # pipe from tracebacking again during interpreter shutdown.
+            with contextlib.suppress(OSError):
+                os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            exit_code = 0
+        finally:
+            # stderr can be a broken pipe too; the stats line is best-effort
+            # but must never turn a clean drain into a traceback.
+            with contextlib.suppress(Exception):
+                print(_serve_stats_line(answered, service), file=sys.stderr, flush=True)
+    return exit_code
 
 
 def _command_project(args: argparse.Namespace) -> int:

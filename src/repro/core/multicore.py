@@ -39,6 +39,7 @@ guard in :mod:`repro.parallel.shared_memory` backstops process exit.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Sequence
@@ -201,6 +202,10 @@ class MulticoreEngine:
         self._retained: "weakref.WeakKeyDictionary[ExecutionPlan, SharedWorkspace]" = (
             weakref.WeakKeyDictionary()
         )
+        # Concurrent serving runs executions on a thread pool; without a lock
+        # two threads could both miss the lookup and publish (and leak) a
+        # second /dev/shm workspace for the same plan.
+        self._retained_lock = threading.Lock()
 
     def _parallel_config(self) -> ParallelConfig:
         config = self.config
@@ -240,24 +245,30 @@ class MulticoreEngine:
         segments are unlinked no later than the plan's own death.
         """
         if self.retain_workspaces:
-            workspace = self._retained.get(plan)
-            if workspace is not None:
-                return workspace, False, True
+            with self._retained_lock:
+                workspace = self._retained.get(plan)
+                if workspace is not None:
+                    return workspace, False, True
+                workspace = SharedWorkspace()
+                workspace.add("stack", stack)
+                workspace.add("event_ids", plan.yet.event_ids)
+                workspace.add("trial_offsets", plan.yet.trial_offsets)
+                self._retained[plan] = workspace
+                weakref.finalize(plan, workspace.close)
+                return workspace, False, False
         workspace = SharedWorkspace()
         workspace.add("stack", stack)
         workspace.add("event_ids", plan.yet.event_ids)
         workspace.add("trial_offsets", plan.yet.trial_offsets)
-        if self.retain_workspaces:
-            self._retained[plan] = workspace
-            weakref.finalize(plan, workspace.close)
-            return workspace, False, False
         return workspace, True, False
 
     def release_workspaces(self) -> None:
         """Close every workspace retained across runs (idempotent)."""
-        for workspace in list(self._retained.values()):
+        with self._retained_lock:
+            workspaces = list(self._retained.values())
+            self._retained.clear()
+        for workspace in workspaces:
             workspace.close()
-        self._retained.clear()
 
     # ------------------------------------------------------------------ #
     # Plan scheduler

@@ -41,6 +41,7 @@ concatenation performed by ``from_programs``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, List, Mapping, Sequence
 
@@ -228,6 +229,9 @@ class ExecutionPlan:
         # Shard-restricted children delegate lazy stack building to their
         # parent so a sharded execution builds (and caches) the stack once.
         self._stack_owner: "ExecutionPlan | None" = None
+        # Cached plans are shared across threads by the serving layer;
+        # the lazy stack build must happen exactly once.
+        self._stack_build_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Shape accessors
@@ -289,19 +293,22 @@ class ExecutionPlan:
         they were split from, so a sharded execution also builds it once.
         """
         if self._stack is None:
-            if self._stack_owner is not None:
-                self._stack = self._stack_owner.stack(timer)
-                return self._stack
-            if self.row_map is None:
-                matrices = [layer.loss_matrix() for layer in self.layers]
-            else:
-                unique_count = int(self.row_map.max()) + 1
-                representatives: List[Layer | None] = [None] * unique_count
-                for row, unique in enumerate(self.row_map):
-                    if representatives[unique] is None:
-                        representatives[unique] = self.layers[row]
-                matrices = [layer.loss_matrix() for layer in representatives]
-            self._stack = build_layer_loss_stack(matrices, timer)
+            with self._stack_build_lock:
+                if self._stack is not None:  # another thread built it meanwhile
+                    return self._stack
+                if self._stack_owner is not None:
+                    self._stack = self._stack_owner.stack(timer)
+                    return self._stack
+                if self.row_map is None:
+                    matrices = [layer.loss_matrix() for layer in self.layers]
+                else:
+                    unique_count = int(self.row_map.max()) + 1
+                    representatives: List[Layer | None] = [None] * unique_count
+                    for row, unique in enumerate(self.row_map):
+                        if representatives[unique] is None:
+                            representatives[unique] = self.layers[row]
+                    matrices = [layer.loss_matrix() for layer in representatives]
+                self._stack = build_layer_loss_stack(matrices, timer)
         return self._stack
 
     def adopt_stack(self, stack: np.ndarray) -> None:

@@ -36,24 +36,38 @@ from repro.service.request import (
     AnalysisRequest,
     RequestValidationError,
 )
-from repro.service.response import AnalysisResponse, CacheInfo
+from repro.service.response import AnalysisResponse, CacheInfo, error_payload
 from repro.service.result_cache import ResultCache, ResultCacheMatch, ResultCacheStats
-from repro.service.service import RiskService, candidate_variants
+from repro.service.server import (
+    Overloaded,
+    RiskServer,
+    ServeClient,
+    ServerStats,
+    ServerThread,
+)
+from repro.service.service import PreparedSubmission, RiskService, candidate_variants
 
 __all__ = [
     "AnalysisRequest",
     "AnalysisResponse",
     "CacheInfo",
     "CacheStats",
+    "Overloaded",
     "PlanCache",
     "PLAN_RELEVANT_CONFIG_FIELDS",
+    "PreparedSubmission",
     "REQUEST_KINDS",
     "RequestValidationError",
     "ResultCache",
     "ResultCacheMatch",
     "ResultCacheStats",
+    "RiskServer",
     "RiskService",
+    "ServeClient",
+    "ServerStats",
+    "ServerThread",
     "candidate_variants",
+    "error_payload",
     "config_digest",
     "program_digest",
     "stack_digest",

@@ -25,7 +25,26 @@ from repro.service.request import AnalysisRequest
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.uncertainty.analysis import ReplicationSummary
 
-__all__ = ["AnalysisResponse", "CacheInfo"]
+__all__ = ["AnalysisResponse", "CacheInfo", "error_payload"]
+
+
+def error_payload(exc: Exception) -> dict[str, Any]:
+    """Structured error envelope shared by every serving surface.
+
+    ``are serve`` (stdin and TCP), ``are request`` and the HTTP shim all
+    answer a failed request with the same shape::
+
+        {"error": {"message": ..., "type": ..., "field": ...?}}
+
+    ``type`` is the exception class name (``"Overloaded"`` for admission
+    rejections); ``field`` rides along for schema errors so callers can
+    handle failures programmatically instead of parsing message strings.
+    """
+    error: dict[str, Any] = {"message": str(exc), "type": type(exc).__name__}
+    field_name = getattr(exc, "field", None)
+    if field_name is not None:
+        error["field"] = field_name
+    return {"error": error}
 
 
 @dataclass(frozen=True)

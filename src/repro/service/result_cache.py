@@ -392,7 +392,19 @@ class ResultCache:
     def _deindex(self, meta: _EntryMeta) -> None:
         latest_key = (meta.program_digest, meta.config_digest)
         if self._latest.get(latest_key) == meta.key:
-            del self._latest[latest_key]
+            # Re-point at the deepest surviving entry for this (program,
+            # config) so append-trials deltas keep hitting after eviction;
+            # the removed entry is already popped from self._meta.
+            survivor: _EntryMeta | None = None
+            for candidate in self._meta.values():
+                if (candidate.program_digest, candidate.config_digest) != latest_key:
+                    continue
+                if survivor is None or candidate.trials.stop > survivor.trials.stop:
+                    survivor = candidate
+            if survivor is None:
+                del self._latest[latest_key]
+            else:
+                self._latest[latest_key] = survivor.key
         siblings = self._by_yet.get((meta.yet_digest, meta.config_digest))
         if siblings is not None:
             if meta.key in siblings:

@@ -45,10 +45,11 @@ and ``are serve`` for a warm NDJSON request loop).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -75,7 +76,7 @@ from repro.service.response import AnalysisResponse, CacheInfo
 from repro.service.result_cache import ResultCache, ResultCacheMatch, ResultCacheStats
 from repro.yet.table import YearEventTable
 
-__all__ = ["RiskService", "candidate_variants"]
+__all__ = ["PreparedSubmission", "RiskService", "candidate_variants"]
 
 
 def candidate_variants(
@@ -121,6 +122,24 @@ class _StackEntry:
     stack: np.ndarray
     terms: tuple[LayerTerms, ...]
     row_names: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True)
+class PreparedSubmission:
+    """A request split at its natural serving seam.
+
+    :meth:`RiskService.prepare` runs the CPU-light half — validation,
+    artifact resolution, plan-cache lookup — on the calling thread (the
+    serving event loop) and returns this handle; :meth:`execute` runs the
+    CPU-heavy kernel pass and is safe to dispatch to a worker thread.
+    """
+
+    request: AnalysisRequest
+    _execute: Callable[[], "AnalysisResponse"] = field(repr=False)
+
+    def execute(self) -> "AnalysisResponse":
+        """Run the deferred heavy half; returns the finalised response."""
+        return self._execute()
 
 
 class _CacheAccounting:
@@ -209,17 +228,24 @@ class RiskService:
         # fed ever-changing seeds must not pin one workload per seed forever.
         self._preset_workloads: "OrderedDict[tuple, Any]" = OrderedDict()
         self._max_preset_workloads = 8
+        # The serving layer drives concurrent submits from an executor pool;
+        # registry mutation and the preset LRU must not race.  Reentrant:
+        # _resolve_program -> _preset_workload nests acquisitions.
+        self._registry_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Artifact registry
     # ------------------------------------------------------------------ #
     def register_program(self, name: str, program: ReinsuranceProgram | Layer) -> None:
         """Register a program under ``name`` for requests to reference."""
-        self._programs[str(name)] = ReinsuranceProgram.wrap(program)
+        wrapped = ReinsuranceProgram.wrap(program)
+        with self._registry_lock:
+            self._programs[str(name)] = wrapped
 
     def register_yet(self, name: str, yet: YearEventTable) -> None:
         """Register a Year Event Table under ``name``."""
-        self._yets[str(name)] = yet
+        with self._registry_lock:
+            self._yets[str(name)] = yet
 
     def register_stack(
         self,
@@ -230,15 +256,18 @@ class RiskService:
     ) -> None:
         """Register a precomputed term-netted stack for ``run_stacked``."""
         stack = np.ascontiguousarray(stack, dtype=np.float64)
-        self._stacks[str(name)] = _StackEntry(
+        entry = _StackEntry(
             stack=stack,
             terms=tuple(terms),
             row_names=tuple(str(n) for n in row_names) if row_names is not None else None,
         )
+        with self._registry_lock:
+            self._stacks[str(name)] = entry
 
     def register_uncertain(self, name: str, layers: Sequence) -> None:
         """Register uncertain layers (for ``uncertainty`` requests)."""
-        self._uncertain[str(name)] = tuple(layers)
+        with self._registry_lock:
+            self._uncertain[str(name)] = tuple(layers)
 
     def register_workload(self, name: str, workload) -> None:
         """Register a generated workload's program and YET under one name."""
@@ -252,22 +281,24 @@ class RiskService:
         if name not in preset_names():
             return None
         key = (name, seed)
-        if key not in self._preset_workloads:
-            spec = preset(name)
-            if seed is not None:
-                spec = spec.scaled(seed=seed)
-            self._preset_workloads[key] = WorkloadGenerator(spec).generate()
-            while len(self._preset_workloads) > self._max_preset_workloads:
-                self._preset_workloads.popitem(last=False)
-        self._preset_workloads.move_to_end(key)
-        return self._preset_workloads[key]
+        with self._registry_lock:
+            if key not in self._preset_workloads:
+                spec = preset(name)
+                if seed is not None:
+                    spec = spec.scaled(seed=seed)
+                self._preset_workloads[key] = WorkloadGenerator(spec).generate()
+                while len(self._preset_workloads) > self._max_preset_workloads:
+                    self._preset_workloads.popitem(last=False)
+            self._preset_workloads.move_to_end(key)
+            return self._preset_workloads[key]
 
     def _resolve_program(
         self, name: str, seed: int | None
     ) -> tuple[ReinsuranceProgram, YearEventTable | None]:
         """(program, companion YET) for a registered or preset name."""
-        if name in self._programs:
-            return self._programs[name], self._yets.get(name)
+        with self._registry_lock:
+            if name in self._programs:
+                return self._programs[name], self._yets.get(name)
         workload = self._preset_workload(name, seed)
         if workload is not None:
             return workload.program, workload.yet
@@ -280,8 +311,9 @@ class RiskService:
         self, request: AnalysisRequest, companion: YearEventTable | None
     ) -> YearEventTable:
         if request.yet is not None:
-            if request.yet in self._yets:
-                return self._yets[request.yet]
+            with self._registry_lock:
+                if request.yet in self._yets:
+                    return self._yets[request.yet]
             workload = self._preset_workload(request.yet, request.seed)
             if workload is not None:
                 return workload.yet
@@ -356,6 +388,26 @@ class RiskService:
         (the three forms ``are request``/``are serve`` and Python callers
         use interchangeably).
         """
+        return self.prepare(request).execute()
+
+    def prepare(
+        self, request: AnalysisRequest | Mapping[str, Any] | str
+    ) -> PreparedSubmission:
+        """Split a submission into its CPU-light and CPU-heavy halves.
+
+        Validation, artifact resolution and the plan-cache lookup happen on
+        the calling thread before this returns; the returned handle's
+        :meth:`~PreparedSubmission.execute` runs the kernel pass (and, for
+        the plain ``run`` kind, nothing else that touches the registries).
+        The asyncio server keeps the light half on the event loop and ships
+        ``execute`` to its executor pool.
+
+        For kinds other than plain ``run`` (and for the result-cache path,
+        whose delta lookups interleave with execution) the whole handler is
+        deferred into ``execute``; every handler is thread-safe behind the
+        registry/plan-cache/result-cache locks, so this is a scheduling
+        distinction, not a correctness one.
+        """
         if isinstance(request, str):
             request = AnalysisRequest.from_json(request)
         elif isinstance(request, Mapping):
@@ -365,6 +417,35 @@ class RiskService:
 
         started = time.perf_counter()
         acct = _CacheAccounting()
+
+        if request.kind == "run" and not (
+            self.result_cache is not None and request.result_cache
+        ):
+            req = request
+            program, companion = self._resolve_program(req.program, req.seed)
+            yet = self._resolve_yet(req, companion)
+            key = self._program_key("run", [program], yet, req.shards)
+            plan, lower_seconds = self._cached_plan(
+                key,
+                lambda: PlanBuilder.from_program(program, yet, n_shards=req.shards),
+                acct,
+                key[1][0][:12],
+            )
+
+            def execute_run() -> AnalysisResponse:
+                executed = time.perf_counter()
+                result = self.engine.run_plan(plan)
+                execute_seconds = time.perf_counter() - executed
+                response = AnalysisResponse(
+                    request=req,
+                    results=(result,),
+                    quotes=self._quotes_for(req, [program], [result]),
+                    timings={"lower": lower_seconds, "execute": execute_seconds},
+                )
+                return self._finalize(req, response, acct, started)
+
+            return PreparedSubmission(request=req, _execute=execute_run)
+
         handler = {
             "run": self._handle_run,
             "run_many": self._handle_run_many,
@@ -372,8 +453,21 @@ class RiskService:
             "sweep": self._handle_sweep,
             "uncertainty": self._handle_uncertainty,
         }[request.kind]
-        response = handler(request, acct)
+        req = request
 
+        def execute_deferred() -> AnalysisResponse:
+            return self._finalize(req, handler(req, acct), acct, started)
+
+        return PreparedSubmission(request=req, _execute=execute_deferred)
+
+    def _finalize(
+        self,
+        request: AnalysisRequest,
+        response: AnalysisResponse,
+        acct: _CacheAccounting,
+        started: float,
+    ) -> AnalysisResponse:
+        """Attach cache accounting, total wall time and backend identity."""
         cache = None
         if acct.looked_up:
             cache = CacheInfo(
@@ -485,11 +579,30 @@ class RiskService:
                 request, program, yet, plan_key, acct, match, rc_config, row_digests
             )
 
+        return self._run_full_and_store(
+            request, program, yet, plan_key, acct, rc_config, row_digests,
+            {"status": "miss"},
+        )
+
+    def _run_full_and_store(
+        self,
+        request: AnalysisRequest,
+        program: ReinsuranceProgram,
+        yet: YearEventTable,
+        plan_key: tuple,
+        acct: _CacheAccounting,
+        rc_config: str,
+        row_digests: tuple,
+        info: dict,
+    ) -> AnalysisResponse:
+        """Cold full run of the whole program, stored for later deltas."""
+        cache = self.result_cache
+        assert cache is not None
         plan, lower_seconds = self._cached_plan(
             plan_key,
             lambda: PlanBuilder.from_program(program, yet, n_shards=request.shards),
             acct,
-            pdig[:12],
+            plan_key[1][0][:12],
         )
         executed = time.perf_counter()
         result = self.engine.run_plan(plan)
@@ -497,14 +610,13 @@ class RiskService:
         accumulator = ResultAccumulator.for_plan(plan)
         accumulator.add_result(result, plan.trials)
         cache.store(
-            program_digest=pdig,
-            yet_digest=ydig,
+            program_digest=plan_key[1][0],
+            yet_digest=plan_key[2],
             config_digest=rc_config,
             accumulator=accumulator,
             row_digests=row_digests,
             plan_key=plan_key,
         )
-        info = {"status": "miss"}
         return self._result_cache_response(
             request, program, result, info, lower_seconds, execute_seconds
         )
@@ -609,11 +721,18 @@ class RiskService:
         losses[changed] = delta_result.ylt.losses
         occ = base.max_occurrence_losses()
         delta_occ = delta_result.ylt.max_occurrence_losses
-        if occ is not None and delta_occ is not None:
+        if (occ is None) != (delta_occ is None):
+            # The cached sibling and the delta run disagree on carrying
+            # max-occurrence losses (e.g. the sibling predates occurrence
+            # tracking); scattering would silently drop the field, breaking
+            # bit-identity with a cold run.  Recompute the full program.
+            return self._run_full_and_store(
+                request, program, yet, plan_key, acct, rc_config, row_digests,
+                {"status": "rows_fallback", "reason": "occurrence_mismatch"},
+            )
+        if occ is not None:
             occ = occ.copy()
             occ[changed] = delta_occ
-        else:
-            occ = None
         accumulator = ResultAccumulator(
             program.n_layers, TrialRange(0, yet.n_trials), row_names=program.layer_names
         )

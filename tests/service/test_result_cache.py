@@ -21,7 +21,7 @@ from repro.financial.terms import LayerTerms
 from repro.parallel.partitioner import TrialRange
 from repro.portfolio.program import ReinsuranceProgram
 from repro.service import AnalysisRequest, ResultCache, RiskService
-from repro.service.digests import yet_digest
+from repro.service.digests import layer_digest, yet_digest
 from repro.yet.table import YearEventTable
 
 
@@ -252,6 +252,72 @@ class TestResultCacheUnit:
         )
         assert sibling.status == "rows" and sibling.changed_rows == (1,)
 
+    def test_eviction_repoints_latest_to_surviving_entry(self):
+        """Evicting the deepest entry must not orphan the append index.
+
+        Regression: ``_deindex`` dropped ``_latest`` with no fallback, so
+        after the deepest (program, config) entry was evicted every later
+        append-trials lookup degraded to a full miss even though an older
+        complete entry still survived in the cache.
+        """
+        cache = ResultCache(maxsize=2)
+        yet_base = self._yet(4)
+        yet_extended = append_trials(yet_base, 3)
+        cache.store(
+            program_digest="p",
+            yet_digest=yet_digest(yet_base),
+            config_digest="c",
+            accumulator=complete_accumulator(2, yet_base.n_trials, 1.0),
+        )
+        cache.store(
+            program_digest="p",
+            yet_digest=yet_digest(yet_extended),
+            config_digest="c",
+            accumulator=complete_accumulator(2, yet_extended.n_trials, 2.0),
+        )
+        # Touch the base so the deeper entry is the LRU eviction victim...
+        assert cache.lookup(
+            program_digest="p", config_digest="c", yet=yet_base
+        ).status == "exact"
+        # ...then push an unrelated entry in to evict it.
+        other = self._yet(5)
+        cache.store(
+            program_digest="other",
+            yet_digest=yet_digest(other),
+            config_digest="c",
+            accumulator=complete_accumulator(1, other.n_trials, 3.0),
+        )
+        assert cache.stats.evictions == 1
+        # The extended YET still gets an append hit off the surviving base.
+        match = cache.lookup(
+            program_digest="p", config_digest="c", yet=yet_extended
+        )
+        assert match.status == "append"
+        assert match.accumulator.missing_ranges() == [
+            TrialRange(yet_base.n_trials, yet_extended.n_trials)
+        ]
+
+    def test_evicting_the_only_entry_clears_the_index(self):
+        """When nothing survives, the append index entry must go away too."""
+        cache = ResultCache(maxsize=1)
+        yet = self._yet(4)
+        cache.store(
+            program_digest="p",
+            yet_digest=yet_digest(yet),
+            config_digest="c",
+            accumulator=complete_accumulator(1, yet.n_trials, 1.0),
+        )
+        cache.store(
+            program_digest="q",
+            yet_digest=yet_digest(yet),
+            config_digest="c",
+            accumulator=complete_accumulator(1, yet.n_trials, 2.0),
+        )
+        extended = append_trials(yet, 2)
+        assert cache.lookup(
+            program_digest="p", config_digest="c", yet=extended
+        ).status == "miss"
+
     def test_incomplete_accumulator_rejected(self):
         cache = ResultCache(maxsize=2)
         incomplete = ResultAccumulator(1, TrialRange(0, 4))
@@ -418,6 +484,54 @@ class TestServiceResultCache:
             assert response.result_cache["status"] == "rows"
             assert len(calls) == 1
             assert calls[0].n_rows == 1  # only the changed layer was priced
+
+    def test_row_delta_occ_mismatch_falls_back_to_full_recompute(self, tiny_workload):
+        """A sibling without occurrence losses must not poison the composition.
+
+        Regression: when the cached sibling and the delta run disagreed on
+        carrying max-occurrence losses, ``_serve_row_delta`` silently set
+        ``occ = None`` — a result NOT bit-identical to a cold run.  The
+        mismatch must instead fall back to a full recompute.
+        """
+        config = EngineConfig(backend="vectorized")  # records max occurrence
+        program, yet = tiny_workload.program, tiny_workload.yet
+        changed_program = with_scaled_layer(program, 0)
+
+        with RiskService(config, result_cache=True) as service:
+            service.register_program("changed", changed_program)
+            service.register_yet("changed", yet)
+            # Seed an occurrence-less sibling under the base program's real
+            # digests (an entry stored before occurrence tracking existed —
+            # the config digest pins occurrence *settings*, not history).
+            plan_key = service._program_key("run", [program], yet, 0)
+            service.result_cache.store(
+                program_digest=plan_key[1][0],
+                yet_digest=plan_key[2],
+                config_digest=f"{plan_key[3]}|shards=0",
+                accumulator=complete_accumulator(program.n_layers, yet.n_trials, 0.0),
+                row_digests=tuple(layer_digest(layer) for layer in program.layers),
+            )
+            delta = service.submit({"kind": "run", "program": "changed"})
+            assert delta.result_cache["status"] == "rows_fallback"
+            assert delta.result_cache["reason"] == "occurrence_mismatch"
+            # The fallback stored the complete entry: a repeat serves exactly,
+            # occurrence losses intact.
+            repeat = service.submit({"kind": "run", "program": "changed"})
+            assert repeat.result_cache["status"] == "exact"
+            assert repeat.result.ylt.max_occurrence_losses is not None
+
+        with RiskService(config) as cold_service:
+            cold_service.register_program("changed", changed_program)
+            cold_service.register_yet("changed", yet)
+            cold = cold_service.submit({"kind": "run", "program": "changed"})
+
+        np.testing.assert_array_equal(delta.result.ylt.losses, cold.result.ylt.losses)
+        assert cold.result.ylt.max_occurrence_losses is not None
+        assert delta.result.ylt.max_occurrence_losses is not None  # was dropped
+        np.testing.assert_array_equal(
+            delta.result.ylt.max_occurrence_losses,
+            cold.result.ylt.max_occurrence_losses,
+        )
 
     def test_sharded_request_delta_matches_sharded_cold(self, tiny_workload):
         """shards is scheduling, not semantics — but keys must still line up."""

@@ -324,3 +324,116 @@ class TestServeHardening:
         answers = [json.loads(line) for line in captured.out.splitlines()]
         assert "error" in answers[0]
         assert answers[1]["kind"] == "run"
+
+
+class _InterruptedStdin:
+    """A stdin whose iteration raises after yielding the given lines."""
+
+    def __init__(self, lines, exc):
+        self._lines = iter(lines)
+        self._exc = exc
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        try:
+            return next(self._lines)
+        except StopIteration:
+            raise self._exc
+
+
+class TestServeShutdown:
+    def test_ctrl_c_exits_130_with_stats_line(self, monkeypatch, capsys):
+        """SIGINT mid-loop: no traceback, the stats line still reaches stderr."""
+        monkeypatch.setattr(
+            "sys.stdin",
+            _InterruptedStdin(['{"kind": "run", "program": "tiny"}\n'], KeyboardInterrupt()),
+        )
+        assert main(["serve"]) == 130
+        captured = capsys.readouterr()
+        assert json.loads(captured.out.splitlines()[0])["kind"] == "run"
+        assert "served 1 requests" in captured.err
+
+    def test_broken_pipe_exits_clean_with_stats_line(self, monkeypatch, capsys):
+        """The reader going away is a normal end of serving, not a crash."""
+        monkeypatch.setattr(
+            "sys.stdin",
+            _InterruptedStdin(['{"kind": "run", "program": "tiny"}\n'], BrokenPipeError()),
+        )
+        assert main(["serve"]) == 0
+        assert "served 1 requests" in capsys.readouterr().err
+
+    def test_interrupt_before_any_request(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", _InterruptedStdin([], KeyboardInterrupt()))
+        assert main(["serve"]) == 130
+        assert "served 0 requests" in capsys.readouterr().err
+
+
+class TestRequestExitCodes:
+    def test_undecodable_json_exits_2(self, capsys):
+        assert main(["request", "--json", "{not json at all"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_undecodable_file_exits_2(self, tmp_path, capsys):
+        document = tmp_path / "busted.json"
+        document.write_text("][")
+        assert main(["request", "--file", str(document)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestListenFlags:
+    def test_listen_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["serve", "--listen", "127.0.0.1:0", "--max-inflight", "4", "--queue-depth", "8"]
+        )
+        assert args.listen == ("127.0.0.1", 0)
+        assert args.max_inflight == 4
+        assert args.queue_depth == 8
+
+    def test_listen_defaults_to_stdin_loop(self):
+        assert build_parser().parse_args(["serve"]).listen is None
+
+    def test_bad_listen_address_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--listen", "9800"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--listen", "host:notaport"])
+
+    def test_listen_serves_over_tcp_and_drains_on_sigint(self, tmp_path):
+        """End to end through the real CLI: subprocess, TCP round trip, SIGINT."""
+        import os
+        import signal
+        import socket
+        import subprocess
+        import sys as _sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", "serve", "--listen", "127.0.0.1:0"],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            assert "listening on" in banner
+            port = int(banner.split("listening on ")[1].split(" ")[0].split(":")[1])
+            with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+                stream = sock.makefile("rwb")
+                stream.write(
+                    (json.dumps({"kind": "run", "program": "tiny", "id": 1}) + "\n").encode()
+                )
+                stream.flush()
+                answer = json.loads(stream.readline())
+                assert answer["id"] == 1 and answer["kind"] == "run"
+            proc.send_signal(signal.SIGINT)
+            stderr_tail = proc.stderr.read()
+            assert proc.wait(timeout=30) == 0
+            assert "served 1" in stderr_tail
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
