@@ -20,6 +20,12 @@ The record schema is deliberately flat and stable::
       "recorded_at": "2026-07-30T12:34:56+00:00"
     }
 
+Every record's ``meta`` additionally carries an ``environment`` block —
+``cpu_count``, ``platform``, ``machine`` and (when a C compiler is on
+``PATH``) the ``compiler`` version line — so perf trajectories remain
+comparable across the machines that produced them.  Benchmark-specific
+``meta`` keys are merged over it and win on collision.
+
 Use :func:`record_benchmark` from a benchmark body after measuring::
 
     record_benchmark(
@@ -40,7 +46,7 @@ import platform
 from pathlib import Path
 from typing import Any, Mapping
 
-__all__ = ["bench_output_dir", "record_benchmark"]
+__all__ = ["bench_output_dir", "environment_meta", "record_benchmark"]
 
 #: Environment variable overriding where BENCH_*.json files are written.
 ENV_BENCH_DIR = "ARE_BENCH_DIR"
@@ -53,6 +59,24 @@ def bench_output_dir() -> Path:
         return Path(override)
     # benchmarks/record.py lives one level below the repository root.
     return Path(__file__).resolve().parent.parent
+
+
+def environment_meta() -> dict:
+    """Provenance of the machine a benchmark ran on (``meta["environment"]``)."""
+    environment: dict = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+    try:
+        from repro.core.native.build import compiler_version, find_compiler
+
+        cc = find_compiler()
+        if cc is not None:
+            environment["compiler"] = compiler_version(cc)
+    except Exception:  # pragma: no cover - provenance must never fail a bench
+        pass
+    return environment
 
 
 def record_benchmark(
@@ -86,7 +110,7 @@ def record_benchmark(
         "candidate_seconds": float(candidate_seconds),
         "speedup": float(baseline_seconds / candidate_seconds),
         "threshold": float(threshold) if threshold is not None else None,
-        "meta": dict(meta) if meta else {},
+        "meta": {"environment": environment_meta(), **(dict(meta) if meta else {})},
         "python": platform.python_version(),
         "recorded_at": _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds"),
     }

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the everyday operations of the library::
+The subcommands cover the everyday operations of the library::
 
     are generate --preset bench --out yet.npz     # simulate & store a YET
     are run --preset bench --backend vectorized   # run an aggregate analysis
@@ -10,6 +10,7 @@ Eight subcommands cover the everyday operations of the library::
     are uncertainty --replications 64 --cv 0.6    # replication-banded metrics
     are request --json '{"kind": "run", ...}'     # answer one JSON request
     are serve                                     # warm NDJSON request loop
+    are backends --json                           # backend availability probes
     are project --trials 1000000                  # full-scale runtime projection
 
 Every pricing command is a thin shell over the
@@ -51,7 +52,7 @@ import os
 import sys
 from typing import Sequence
 
-from repro.core.config import BACKEND_NAMES, EngineConfig
+from repro.core.config import BACKEND_NAMES, DTYPE_NAMES, EngineConfig
 from repro.core.projection import CPUCostModel, project_summary
 from repro.parallel.device import WorkloadShape
 from repro.service import AnalysisRequest, RequestValidationError, RiskService
@@ -209,6 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
              "control answers {\"error\": {\"type\": \"Overloaded\"}} (default 16)",
     )
 
+    backends = subparsers.add_parser(
+        "backends",
+        help="list the engine backends with availability probes",
+    )
+    backends.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the probe results as a JSON object",
+    )
+
     project = subparsers.add_parser(
         "project", help="project full-scale runtimes with the analytical cost models"
     )
@@ -233,12 +243,26 @@ def _add_run_arguments(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument("--threads-per-block", type=int, default=256)
     sub.add_argument("--chunk-size", type=int, default=4)
+    _add_native_arguments(sub)
     sub.add_argument("--phases", action="store_true", help="record the phase breakdown")
+
+
+def _add_native_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--dtype", default="float64", choices=DTYPE_NAMES,
+        help="loss-stack precision of the native backend's fused gather "
+             "(float32 halves the gather bandwidth; other backends ignore this)",
+    )
+    sub.add_argument(
+        "--native-threads", type=_non_negative_int, default=0, metavar="N",
+        help="OpenMP threads of the native backend's C kernel (0 = runtime default)",
+    )
 
 
 def _add_service_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--backend", default="vectorized", choices=BACKEND_NAMES)
     sub.add_argument("--workers", type=int, default=1, help="workers for the multicore backend")
+    _add_native_arguments(sub)
     sub.add_argument(
         "--cache-size", type=_positive_int, default=32,
         help="plan-cache capacity of the service (default 32)",
@@ -283,6 +307,8 @@ def _build_config(args: argparse.Namespace) -> EngineConfig:
         trial_shards=max(getattr(args, "shards", 0), 1),
         threads_per_block=getattr(args, "threads_per_block", 256),
         gpu_chunk_size=getattr(args, "chunk_size", 4),
+        dtype=getattr(args, "dtype", "float64"),
+        native_threads=getattr(args, "native_threads", 0),
         record_phases=getattr(args, "phases", False),
     )
 
@@ -377,10 +403,12 @@ def _command_metrics(args: argparse.Namespace) -> int:
 
 
 def _command_uncertainty(args: argparse.Namespace) -> int:
-    if args.method == "batched" and args.backend not in ("vectorized", "chunked", "multicore"):
+    if args.method == "batched" and args.backend not in (
+        "vectorized", "chunked", "multicore", "native",
+    ):
         print(
             f"error: backend {args.backend!r} has no stacked execution path; "
-            "use --backend vectorized/chunked/multicore or --method replay",
+            "use --backend vectorized/chunked/multicore/native or --method replay",
             file=sys.stderr,
         )
         return 2
@@ -572,6 +600,58 @@ def _command_serve(args: argparse.Namespace) -> int:
     return exit_code
 
 
+#: One-line descriptions of the always-available pure-Python backends.
+_BACKEND_NOTES = {
+    "sequential": "per-trial reference loop (conformance oracle)",
+    "vectorized": "NumPy whole-shard kernels (default)",
+    "chunked": "NumPy kernels over bounded event chunks",
+    "multicore": "worker processes over trial blocks (shared-memory transport)",
+    "gpu": "simulated device: paper-figure cost model, not a fast path",
+    "native": "compiled C fused kernels via ctypes (OpenMP, optional float32)",
+}
+
+
+def _backend_probes() -> dict:
+    """Availability probe per backend (the payload of ``are backends``)."""
+    from repro.core.native.build import native_status
+
+    probes: dict = {}
+    for name in BACKEND_NAMES:
+        entry: dict = {"available": True, "note": _BACKEND_NOTES[name]}
+        if name == "multicore":
+            entry["cpu_count"] = os.cpu_count()
+        if name == "native":
+            status = native_status()
+            entry["available"] = True  # falls back to NumPy, never unusable
+            entry["compiled_tier"] = status["available"]
+            entry["compiler"] = status["compiler"]
+            entry["compiler_version"] = status["compiler_version"]
+            entry["openmp"] = status["openmp"]
+            entry["cached_library"] = status["cached_library"]
+            if status["reason"]:
+                entry["fallback_reason"] = status["reason"]
+        probes[name] = entry
+    return probes
+
+
+def _command_backends(args: argparse.Namespace) -> int:
+    probes = _backend_probes()
+    if args.as_json:
+        print(json.dumps({"backends": probes}, indent=2, sort_keys=True))
+        return 0
+    for name, entry in probes.items():
+        print(f"{name:<11} {entry['note']}")
+        if name == "native":
+            if entry["compiled_tier"]:
+                cached = "cached" if entry["cached_library"] else "will compile on first use"
+                openmp = "with OpenMP" if entry["openmp"] else "without OpenMP"
+                print(f"{'':11} compiler: {entry['compiler_version']} ({openmp}; {cached})")
+            else:
+                print(f"{'':11} compiled tier unavailable: {entry['fallback_reason']}")
+                print(f"{'':11} runs on the vectorized NumPy fallback (identical results)")
+    return 0
+
+
 def _command_project(args: argparse.Namespace) -> int:
     shape = WorkloadShape(
         n_trials=args.trials,
@@ -595,6 +675,7 @@ _COMMANDS = {
     "uncertainty": _command_uncertainty,
     "request": _command_request,
     "serve": _command_serve,
+    "backends": _command_backends,
     "project": _command_project,
 }
 

@@ -1,6 +1,6 @@
 """The public engine facade.
 
-:class:`AggregateRiskEngine` selects one of the five backends from an
+:class:`AggregateRiskEngine` selects one of the six backends from an
 :class:`~repro.core.config.EngineConfig` and drives it through the unified
 **ExecutionPlan** pipeline: every public workload is *lowered* to an
 :class:`~repro.core.plan.ExecutionPlan` (tiles over trial blocks x stacked
@@ -81,6 +81,7 @@ from repro.core.chunked import ChunkedEngine
 from repro.core.config import BACKEND_NAMES, EngineConfig
 from repro.core.gpu_sim import GPUSimulatedEngine
 from repro.core.multicore import MulticoreEngine
+from repro.core.native_backend import NativeEngine
 from repro.core.plan import ExecutionPlan, PlanBuilder
 from repro.core.results import EngineResult, ResultAccumulator
 from repro.core.sequential import SequentialEngine
@@ -101,6 +102,7 @@ _BACKEND_CLASSES: Dict[str, Callable[[EngineConfig], object]] = {
     "chunked": ChunkedEngine,
     "multicore": MulticoreEngine,
     "gpu": GPUSimulatedEngine,
+    "native": NativeEngine,
 }
 
 
@@ -311,8 +313,8 @@ class AggregateRiskEngine:
 
         The workload lowers to a synthetic :class:`ExecutionPlan` (no source
         layers), so it is supported by the backends with a fused path —
-        vectorized, chunked and multicore; the sequential and gpu reference
-        backends raise ``ValueError``.  ``n_shards`` executes the plan as
+        vectorized, chunked, multicore and native; the sequential and gpu
+        reference backends raise ``ValueError``.  ``n_shards`` executes the plan as
         that many exactly-merged trial shards (``0`` = the config default).
         """
         plan = PlanBuilder.from_stack(

@@ -1,0 +1,23 @@
+"""Native compiled kernel tier: in-repo C, built on demand, loaded via ctypes.
+
+See :mod:`repro.core.native.build` for the build/cache/loader machinery and
+``_kernels.c`` for the fused kernel and its bit-identity contract; the
+backend that schedules plans through it lives in
+:mod:`repro.core.native_backend`.
+"""
+
+from repro.core.native.build import (
+    NativeBuildError,
+    NativeKernels,
+    ensure_built,
+    load_kernels,
+    native_status,
+)
+
+__all__ = [
+    "NativeBuildError",
+    "NativeKernels",
+    "ensure_built",
+    "load_kernels",
+    "native_status",
+]

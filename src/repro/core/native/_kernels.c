@@ -1,0 +1,228 @@
+/* Fused aggregate-analysis kernel: gather + layer terms + trial reductions.
+ *
+ * One call prices every plan row over one trial shard of a Year Event Table:
+ * for each (row, trial) pair it gathers the trial's event losses from the
+ * stacked term-netted loss matrix, applies the row's occurrence terms to
+ * each gathered value, reduces the termed values to the trial's total and
+ * maximum, and clips the total with the row's aggregate terms.  This is the
+ * whole body of layer_trial_losses_batch() fused into a single pass with no
+ * (n_rows, n_events) intermediate — the NumPy pipeline materialises that
+ * matrix at least twice (gather, occurrence terms) and then re-reads it for
+ * each reduction.
+ *
+ * Bit-identity contract (the reason this file is fussier than a textbook
+ * loop): the native backend must produce the *same bits* as the vectorized
+ * NumPy backend, because the golden conformance suite compares backends
+ * with np.array_equal and because disjoint trial shards merge exactly only
+ * if each trial's reduction is independent of everything outside the trial.
+ * Three NumPy behaviours are therefore replicated precisely:
+ *
+ * 1. np.add.reduceat over a segment [s, e) computes
+ *        v[s] + pairwise_sum(v[s+1 : e])
+ *    where pairwise_sum is NumPy's blocked pairwise summation: fewer than 8
+ *    elements are added sequentially; 8..128 elements use 8 interleaved
+ *    accumulators initialised from the first 8 elements, an 8-wide unrolled
+ *    loop, the fixed combination tree ((r0+r1)+(r2+r3))+((r4+r5)+(r6+r7)),
+ *    and a sequential tail; more than 128 elements split recursively at
+ *    n2 = n/2 rounded down to a multiple of 8.  pairwise_() below mirrors
+ *    that algorithm exactly (verified empirically against numpy 2.x).
+ * 2. np.clip(x, 0.0, hi) == minimum(maximum(x, 0.0), hi) with NumPy's
+ *    ordered comparisons: maximum keeps x only when x > 0.0 (so -0.0
+ *    normalises to +0.0) and minimum keeps x only when x < hi.
+ * 3. Maxima are order-independent, so the running maximum is folded inside
+ *    the summation recursion; empty trials yield 0.0 for both reductions
+ *    (matching segment_sum_2d / segment_max_2d with initial=0.0).
+ *
+ * Do NOT compile with -ffast-math (or any flag that licenses FP
+ * reassociation): the summation tree IS the contract.
+ *
+ * The float32 variant stores the stack in single precision (halving the
+ * random-gather bandwidth, which dominates the runtime) but widens every
+ * gathered value to double before the terms and reductions — so it is
+ * bit-identical to running the float64 pipeline on an f32-quantised stack.
+ */
+
+#include <stdint.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#define ARE_NATIVE_ABI_VERSION 1
+
+int64_t are_abi_version(void) { return ARE_NATIVE_ABI_VERSION; }
+
+int32_t are_openmp_enabled(void) {
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+int32_t are_max_threads(void) {
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+/* One gathered, occurrence-termed value; folds the running maximum. */
+#define DEFINE_TERMED(SUFFIX, RTYPE)                                         \
+static inline double termed_##SUFFIX(                                        \
+    const RTYPE *row, const int64_t *ids, int64_t i,                         \
+    double occ_ret, double occ_lim, double *running_max)                     \
+{                                                                            \
+    double u = (double)row[ids[i]] - occ_ret;                                \
+    u = (u > 0.0) ? u : 0.0;                                                 \
+    u = (u < occ_lim) ? u : occ_lim;                                         \
+    if (u > *running_max) *running_max = u;                                  \
+    return u;                                                                \
+}
+
+/* NumPy's pairwise summation over termed values (see header comment). */
+#define DEFINE_PAIRWISE(SUFFIX, RTYPE)                                      \
+static double pairwise_##SUFFIX(                                             \
+    const RTYPE *row, const int64_t *ids, int64_t n,                         \
+    double occ_ret, double occ_lim, double *running_max)                     \
+{                                                                            \
+    if (n < 8) {                                                             \
+        double res = 0.0;                                                    \
+        for (int64_t i = 0; i < n; i++)                                      \
+            res += termed_##SUFFIX(row, ids, i, occ_ret, occ_lim,            \
+                                   running_max);                             \
+        return res;                                                          \
+    }                                                                        \
+    if (n <= 128) {                                                          \
+        double r[8];                                                         \
+        for (int64_t j = 0; j < 8; j++)                                      \
+            r[j] = termed_##SUFFIX(row, ids, j, occ_ret, occ_lim,            \
+                                   running_max);                             \
+        int64_t i = 8;                                                       \
+        for (; i < n - (n % 8); i += 8)                                      \
+            for (int64_t j = 0; j < 8; j++)                                  \
+                r[j] += termed_##SUFFIX(row, ids, i + j, occ_ret, occ_lim,   \
+                                        running_max);                        \
+        double res = ((r[0] + r[1]) + (r[2] + r[3]))                         \
+                   + ((r[4] + r[5]) + (r[6] + r[7]));                        \
+        for (; i < n; i++)                                                   \
+            res += termed_##SUFFIX(row, ids, i, occ_ret, occ_lim,            \
+                                   running_max);                             \
+        return res;                                                          \
+    }                                                                        \
+    int64_t n2 = n / 2;                                                      \
+    n2 -= n2 % 8;                                                            \
+    return pairwise_##SUFFIX(row, ids, n2, occ_ret, occ_lim, running_max)    \
+         + pairwise_##SUFFIX(row, ids + n2, n - n2, occ_ret, occ_lim,        \
+                             running_max);                                   \
+}
+
+DEFINE_TERMED(f64, double)
+DEFINE_PAIRWISE(f64, double)
+DEFINE_TERMED(f32, float)
+DEFINE_PAIRWISE(f32, float)
+
+/* The (row, trial) cell body, shared by the f64/f32 loop nests. */
+#define FUSED_CELL(SUFFIX, RTYPE)                                            \
+    do {                                                                     \
+        const RTYPE *row_losses = (const RTYPE *)stack                       \
+            + (row_map ? row_map[r] : r) * catalog_size;                     \
+        const double occ_ret = occ_retentions[r];                            \
+        const double occ_lim = occ_limits[r];                                \
+        const int64_t start = offsets[t];                                    \
+        const int64_t n = offsets[t + 1] - start;                            \
+        double trial_max = 0.0;                                              \
+        double total = 0.0;                                                  \
+        if (n > 0) {                                                         \
+            const int64_t *trial_ids = event_ids + start;                    \
+            const double first = termed_##SUFFIX(                            \
+                row_losses, trial_ids, 0, occ_ret, occ_lim, &trial_max);     \
+            total = (n == 1)                                                 \
+                ? first                                                      \
+                : first + pairwise_##SUFFIX(row_losses, trial_ids + 1,       \
+                                            n - 1, occ_ret, occ_lim,         \
+                                            &trial_max);                     \
+        }                                                                    \
+        double year = total - agg_retentions[r];                             \
+        year = (year > 0.0) ? year : 0.0;                                    \
+        year = (year < agg_limits[r]) ? year : agg_limits[r];                \
+        year_losses[r * n_trials + t] = year;                                \
+        if (max_occ)                                                         \
+            max_occ[r * n_trials + t] = trial_max;                           \
+    } while (0)
+
+/* Price `n_rows` plan rows over `n_trials` trials in one fused pass.
+ *
+ * stack:        (n_stack_rows, catalog_size) C-contiguous float64 (or
+ *               float32 when stack_is_f32) term-netted loss matrix.
+ * row_map:      NULL for the identity mapping, else n_rows indices into the
+ *               (deduplicated) stack.
+ * event_ids:    the shard's flattened event ids (n_events int64).
+ * offsets:      n_trials + 1 CSR offsets local to the shard
+ *               (offsets[0] == 0, offsets[n_trials] == n_events).
+ * occ_/agg_*:   per-row occurrence/aggregate retentions and limits.
+ * year_losses:  (n_rows, n_trials) float64 output.
+ * max_occ:      NULL, or a (n_rows, n_trials) float64 output for the
+ *               per-trial maximum occurrence losses.
+ * n_threads:    OpenMP thread count; <= 0 means the library default.  The
+ *               (row, trial) cells are independent, so threading never
+ *               changes the bits.
+ *
+ * Returns 0 on success, a nonzero code on malformed arguments.  Event ids
+ * are validated by the Python wrapper (like the NumPy kernel), not here.
+ */
+int32_t are_fused_rows(
+    const void *stack,
+    int64_t n_stack_rows,
+    int64_t catalog_size,
+    int32_t stack_is_f32,
+    const int64_t *row_map,
+    int64_t n_rows,
+    const int64_t *event_ids,
+    int64_t n_events,
+    const int64_t *offsets,
+    int64_t n_trials,
+    const double *occ_retentions,
+    const double *occ_limits,
+    const double *agg_retentions,
+    const double *agg_limits,
+    double *year_losses,
+    double *max_occ,
+    int32_t n_threads)
+{
+    if (!stack || !offsets || !year_losses
+        || !occ_retentions || !occ_limits || !agg_retentions || !agg_limits)
+        return 1;
+    if (n_rows <= 0 || n_trials < 0 || n_events < 0 || catalog_size <= 0)
+        return 2;
+    if (n_events > 0 && !event_ids)
+        return 1;
+    if (offsets[0] != 0 || offsets[n_trials] != n_events)
+        return 3;
+    if (!row_map && n_stack_rows < n_rows)
+        return 4;
+
+#ifdef _OPENMP
+    const int nt = (n_threads > 0) ? (int)n_threads : omp_get_max_threads();
+#else
+    (void)n_threads;
+#endif
+
+    if (stack_is_f32) {
+#ifdef _OPENMP
+        #pragma omp parallel for collapse(2) schedule(static) num_threads(nt)
+#endif
+        for (int64_t r = 0; r < n_rows; r++)
+            for (int64_t t = 0; t < n_trials; t++)
+                FUSED_CELL(f32, float);
+    } else {
+#ifdef _OPENMP
+        #pragma omp parallel for collapse(2) schedule(static) num_threads(nt)
+#endif
+        for (int64_t r = 0; r < n_rows; r++)
+            for (int64_t t = 0; t < n_trials; t++)
+                FUSED_CELL(f64, double);
+    }
+    return 0;
+}

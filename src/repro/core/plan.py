@@ -232,6 +232,9 @@ class ExecutionPlan:
         # Cached plans are shared across threads by the serving layer;
         # the lazy stack build must happen exactly once.
         self._stack_build_lock = threading.Lock()
+        # Lazily quantised float32 view of the stack (native backend,
+        # EngineConfig.dtype="float32"); invalidated with the stack.
+        self._stack_f32: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Shape accessors
@@ -311,6 +314,26 @@ class ExecutionPlan:
                 self._stack = build_layer_loss_stack(matrices, timer)
         return self._stack
 
+    def stack_f32(self, timer: PhaseTimer | None = None) -> np.ndarray:
+        """The float32 quantisation of :meth:`stack`, built lazily and cached.
+
+        The native backend's ``dtype="float32"`` tier gathers from this copy
+        (halving the random-gather bandwidth) while still accumulating in
+        double precision, so its results are bit-identical to running the
+        float64 pipeline on exactly this quantised stack.  Shard-restricted
+        children delegate to their parent, mirroring :meth:`stack`, so a
+        sharded or delta-cached execution quantises once.
+        """
+        if self._stack_f32 is None:
+            if self._stack_owner is not None:
+                quantised = self._stack_owner.stack_f32(timer)
+            else:
+                quantised = np.ascontiguousarray(self.stack(timer), dtype=np.float32)
+            with self._stack_build_lock:
+                if self._stack_f32 is None:
+                    self._stack_f32 = quantised
+        return self._stack_f32
+
     def adopt_stack(self, stack: np.ndarray) -> None:
         """Install a precomputed stack (validated like the constructor's).
 
@@ -330,6 +353,7 @@ class ExecutionPlan:
                 f"stack has {stack.shape[0]} rows but the plan addresses {expected}"
             )
         self._stack = stack
+        self._stack_f32 = None
 
     @property
     def cached_stack(self) -> np.ndarray | None:

@@ -75,6 +75,8 @@ PLAN_RELEVANT_CONFIG_FIELDS: tuple[str, ...] = (
     "threads_per_block",
     "gpu_chunk_size",
     "gpu_optimised",
+    "dtype",
+    "native_threads",
 )
 
 # Identity-memoized digests of immutable heavyweight inputs (ELTs, YETs,

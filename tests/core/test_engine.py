@@ -8,6 +8,7 @@ from repro.core.config import EngineConfig
 from repro.core.engine import AggregateRiskEngine, available_backends
 from repro.core.gpu_sim import GPUSimulatedEngine
 from repro.core.multicore import MulticoreEngine
+from repro.core.native_backend import NativeEngine
 from repro.core.sequential import SequentialEngine
 from repro.core.vectorized import VectorizedEngine
 from repro.ylt.table import YearLossTable
@@ -15,7 +16,9 @@ from repro.ylt.table import YearLossTable
 
 class TestFacade:
     def test_available_backends(self):
-        assert set(available_backends()) == {"sequential", "vectorized", "chunked", "multicore", "gpu"}
+        assert set(available_backends()) == {
+            "sequential", "vectorized", "chunked", "multicore", "gpu", "native",
+        }
 
     @pytest.mark.parametrize("backend,backend_cls", [
         ("sequential", SequentialEngine),
@@ -23,6 +26,7 @@ class TestFacade:
         ("chunked", ChunkedEngine),
         ("multicore", MulticoreEngine),
         ("gpu", GPUSimulatedEngine),
+        ("native", NativeEngine),
     ])
     def test_backend_selection(self, backend, backend_cls):
         engine = AggregateRiskEngine(EngineConfig(backend=backend))

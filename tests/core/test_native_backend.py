@@ -1,0 +1,123 @@
+"""Golden tests for the native C backend against the vectorized reference.
+
+The backend's defining contracts, checked per configuration axis:
+
+* ``dtype="float64"`` — bit-identical to the vectorized backend (the C
+  kernel replicates NumPy's pairwise-summation evaluation order), across
+  fused/per-layer, shortcut on/off and trial-sharded execution;
+* ``dtype="float32"`` — bit-identical to the float64 pipeline run on the
+  f32-quantised stack, and within quantisation-level tolerance of the
+  full-precision run.
+
+Everything here needs the compiled tier; the NumPy fallback path is covered
+in ``test_native_build.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.core.native.build import find_compiler
+from repro.core.plan import PlanBuilder
+
+pytestmark = pytest.mark.skipif(
+    find_compiler() is None, reason="no C compiler: covered by the fallback tests"
+)
+
+
+@pytest.fixture(scope="module")
+def plan(tiny_workload):
+    return PlanBuilder.from_program(tiny_workload.program, tiny_workload.yet)
+
+
+def _run(backend: str, plan, **overrides):
+    return AggregateRiskEngine(EngineConfig(backend=backend, **overrides)).run_plan(plan)
+
+
+class TestFloat64BitIdentity:
+    @pytest.mark.parametrize("trial_shards", [1, 3])
+    @pytest.mark.parametrize("fused_layers", [True, False])
+    @pytest.mark.parametrize("use_aggregate_shortcut", [True, False])
+    def test_matches_vectorized_bitwise(
+        self, plan, fused_layers, use_aggregate_shortcut, trial_shards
+    ):
+        overrides = dict(
+            fused_layers=fused_layers,
+            use_aggregate_shortcut=use_aggregate_shortcut,
+            trial_shards=trial_shards,
+        )
+        reference = _run("vectorized", plan, **overrides)
+        native = _run("native", plan, **overrides)
+        assert native.backend == "native"
+        np.testing.assert_array_equal(reference.ylt.losses, native.ylt.losses)
+        np.testing.assert_array_equal(
+            reference.ylt.max_occurrence_losses, native.ylt.max_occurrence_losses
+        )
+        # The C kernel only covers the fused shortcut path; the ablation
+        # configurations must run the shared NumPy kernels by construction.
+        assert native.details["native_kernel"] is (fused_layers and use_aggregate_shortcut)
+
+    def test_record_max_occurrence_off(self, plan):
+        native = _run("native", plan, record_max_occurrence=False)
+        assert native.details["native_kernel"] is True
+        assert native.ylt.max_occurrence_losses is None
+        reference = _run("vectorized", plan, record_max_occurrence=False)
+        np.testing.assert_array_equal(reference.ylt.losses, native.ylt.losses)
+
+    def test_details_report_kernel_provenance(self, plan):
+        native = _run("native", plan)
+        details = native.details
+        assert details["native_kernel"] is True
+        assert details["dtype"] == "float64"
+        assert details["native_threads"] >= 1
+        assert isinstance(details["native_openmp"], bool)
+        assert "native_fallback" not in details
+
+    def test_native_threads_pinned(self, plan):
+        pinned = _run("native", plan, native_threads=1)
+        assert pinned.details["native_threads"] == 1
+        free = _run("native", plan)
+        np.testing.assert_array_equal(pinned.ylt.losses, free.ylt.losses)
+
+
+class TestFloat32:
+    @pytest.fixture(scope="class")
+    def quantised_reference(self, plan, tiny_workload):
+        quantised = plan.stack().astype(np.float32).astype(np.float64)
+        oracle_plan = PlanBuilder.from_stack(
+            quantised, plan.terms, tiny_workload.yet, row_names=plan.row_names
+        )
+        return AggregateRiskEngine(EngineConfig(backend="vectorized")).run_plan(oracle_plan)
+
+    @pytest.mark.parametrize("trial_shards", [1, 3])
+    def test_bit_identical_to_quantised_pipeline(self, plan, quantised_reference, trial_shards):
+        f32 = _run("native", plan, dtype="float32", trial_shards=trial_shards)
+        assert f32.details["native_kernel"] is True
+        assert f32.details["dtype"] == "float32"
+        np.testing.assert_array_equal(quantised_reference.ylt.losses, f32.ylt.losses)
+        np.testing.assert_array_equal(
+            quantised_reference.ylt.max_occurrence_losses, f32.ylt.max_occurrence_losses
+        )
+
+    @pytest.mark.parametrize("trial_shards", [1, 3])
+    @pytest.mark.parametrize("fused_layers", [True, False])
+    def test_within_quantisation_tolerance_of_float64(self, plan, fused_layers, trial_shards):
+        # Stack quantisation is ~6e-8 relative per value; the occurrence /
+        # aggregate clips amplify it for trials sitting at a term threshold,
+        # hence rtol=1e-3 rather than a few ulp.
+        full = _run("native", plan, fused_layers=fused_layers, trial_shards=trial_shards)
+        f32 = _run(
+            "native", plan, dtype="float32", fused_layers=fused_layers, trial_shards=trial_shards
+        )
+        np.testing.assert_allclose(
+            full.ylt.losses, f32.ylt.losses, rtol=1e-3, atol=1e-6
+        )
+
+    def test_per_layer_ablation_stays_float64(self, plan):
+        # dtype only affects the fused stacked path; the per-layer reference
+        # ablation always computes in float64 and reports so.
+        result = _run("native", plan, dtype="float32", fused_layers=False)
+        assert result.details["dtype"] == "float64"
+        reference = _run("vectorized", plan, fused_layers=False)
+        np.testing.assert_array_equal(reference.ylt.losses, result.ylt.losses)

@@ -437,3 +437,63 @@ class TestListenFlags:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=10)
+
+
+class TestBackendsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["backends"])
+        assert args.as_json is False
+        assert build_parser().parse_args(["backends", "--json"]).as_json is True
+
+    def test_lists_all_backends(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sequential", "vectorized", "chunked", "multicore", "gpu", "native"):
+            assert name in out
+
+    def test_json_payload_shape(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        probes = payload["backends"]
+        assert set(probes) == {
+            "sequential", "vectorized", "chunked", "multicore", "gpu", "native",
+        }
+        assert all(entry["available"] is True for entry in probes.values())
+        assert isinstance(probes["multicore"]["cpu_count"], int)
+        assert isinstance(probes["native"]["compiled_tier"], bool)
+
+    def test_native_probe_reports_fallback_reason(self, monkeypatch, capsys):
+        monkeypatch.setenv("ARE_NATIVE_CC", "are-no-such-compiler")
+        assert main(["backends", "--json"]) == 0
+        native = json.loads(capsys.readouterr().out)["backends"]["native"]
+        assert native["available"] is True  # the NumPy fallback always works
+        assert native["compiled_tier"] is False
+        assert "ARE_NATIVE_CC" in native["fallback_reason"]
+
+
+class TestNativeRunFlags:
+    def test_dtype_and_threads_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "--backend", "native", "--dtype", "float32", "--native-threads", "2"]
+        )
+        assert args.dtype == "float32"
+        assert args.native_threads == 2
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dtype", "float16"])
+
+    def test_negative_threads_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--native-threads", "-1"])
+
+    def test_run_native_backend(self, capsys):
+        assert main(["run", "--preset", "tiny", "--backend", "native"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=native" in out
+
+    def test_run_native_float32(self, capsys):
+        assert main(
+            ["run", "--preset", "tiny", "--backend", "native", "--dtype", "float32"]
+        ) == 0
+        assert "backend=native" in capsys.readouterr().out

@@ -156,3 +156,84 @@ class TestSegmentReductions2D:
             segment_sum_2d(np.zeros(5), np.array([0, 5]))
         with pytest.raises(ValueError):
             segment_max_2d(np.zeros((2, 2, 2)), np.array([0, 2]))
+
+
+class TestSegmentMaxTrialLocality:
+    """Boundary/empty-segment regressions for the max variants.
+
+    PR 5 restricted the *sum* variants' ``reduceat`` to non-empty segments
+    (raw ``reduceat`` mishandles empty ones: it returns the *next* element
+    instead of the identity, leaking a neighbouring trial's value across the
+    boundary).  The max variants use the same restriction; these tests pin
+    the behaviours shard-merge bit-identity depends on, mirroring the sum
+    variants' coverage.
+    """
+
+    def test_empty_segment_does_not_steal_next_segments_value(self):
+        # Raw np.maximum.reduceat over offsets [0, 2, 2, 5] would report the
+        # empty middle segment as values[2] — the *next* trial's first event.
+        values = np.array([1.0, 2.0, 99.0, 3.0, 4.0])
+        offsets = np.array([0, 2, 2, 5])
+        np.testing.assert_array_equal(
+            segment_max(values, offsets), np.array([2.0, 0.0, 99.0])
+        )
+
+    def test_leading_and_trailing_empty_segments(self):
+        # A trailing empty segment's start index equals len(values) — raw
+        # reduceat would raise; the restriction must skip it cleanly.
+        values = np.array([5.0, 1.0])
+        offsets = np.array([0, 0, 2, 2, 2])
+        np.testing.assert_array_equal(
+            segment_max(values, offsets, initial=-1.0),
+            np.array([-1.0, 5.0, -1.0, -1.0]),
+        )
+
+    def test_initial_clamps_segments_below_it(self):
+        # numpy applies maximum(maxima, initial) to non-empty segments too:
+        # a trial whose occurrence losses are all below `initial` reports
+        # `initial` (for the OEP curve: no occurrence loss is negative).
+        values = np.array([-3.0, -1.0, 2.0])
+        offsets = np.array([0, 2, 3])
+        np.testing.assert_array_equal(
+            segment_max(values, offsets), np.array([0.0, 2.0])
+        )
+
+    @pytest.mark.parametrize("cut", [0, 1, 3, 5, 6])
+    def test_shard_merge_bit_identical_1d(self, cut):
+        # Trial locality: splitting the flattened values at any trial
+        # boundary and reducing the halves independently reproduces the
+        # monolithic reduction bit for bit.
+        rng = np.random.default_rng(11)
+        lengths = np.array([3, 0, 7, 1, 0, 129])
+        offsets = np.concatenate(([0], np.cumsum(lengths)))
+        values = rng.normal(size=offsets[-1]) * 100
+        whole = segment_max(values, offsets)
+
+        left = offsets[: cut + 1]
+        right = offsets[cut:] - offsets[cut]
+        merged = np.concatenate(
+            [
+                segment_max(values[: offsets[cut]], left),
+                segment_max(values[offsets[cut] :], right),
+            ]
+        )
+        np.testing.assert_array_equal(whole, merged)
+
+    @pytest.mark.parametrize("cut", [0, 2, 4])
+    def test_shard_merge_bit_identical_2d(self, cut):
+        rng = np.random.default_rng(12)
+        lengths = np.array([0, 8, 127, 2])
+        offsets = np.concatenate(([0], np.cumsum(lengths)))
+        matrix = rng.normal(size=(3, offsets[-1])) * 100
+        whole = segment_max_2d(matrix, offsets)
+
+        left = offsets[: cut + 1]
+        right = offsets[cut:] - offsets[cut]
+        merged = np.concatenate(
+            [
+                segment_max_2d(matrix[:, : offsets[cut]], left),
+                segment_max_2d(matrix[:, offsets[cut] :], right),
+            ],
+            axis=1,
+        )
+        np.testing.assert_array_equal(whole, merged)
