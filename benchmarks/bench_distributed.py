@@ -1,0 +1,217 @@
+"""Distributed fleet execution: merge exactness and multi-worker wall time.
+
+The fleet's pitch is the paper's map/reduce shape stretched across
+processes: ship the plan once (digest-keyed), stream
+:class:`~repro.core.results.PartialResult` blocks back over sockets, and
+merge by pure column placement — so correctness is bit-identity, never
+tolerance.  This harness pins that plus the wall-time claim:
+
+* ``test_fleet_merge_bit_identical`` — a plain assertion (runs in the CI
+  bench smoke) that a 4-worker, 8-shard fleet run over a mid-sized
+  workload reproduces the monolithic run bit for bit;
+* ``test_fleet_survives_worker_kill`` — kill one of two worker processes
+  mid-run; the reassigned shards must still merge bit-identically (also
+  kept on in CI);
+* ``test_fleet_speedup_at_4_workers`` — the wall-time acceptance: four
+  local worker processes price the 8-shard, 64-layer workload at least
+  2.5x faster than one warm single-process run.  The measurement always
+  emits ``BENCH_distributed.json`` (including ``environment.cpu_count``),
+  then skips the assertion on hosts with fewer cores than workers — four
+  processes on one core timeshare, they don't parallelise.  Deselected in
+  CI like every timing-ratio gate; run locally to refresh the record.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregateRiskEngine
+from repro.core.plan import PlanBuilder
+from repro.distributed import FleetEngine, WorkerProcess
+
+from .conftest import build_workload
+from .record import record_benchmark
+
+FLEET_TRIALS = 8000
+FLEET_EVENTS = 240
+FLEET_LAYERS = 64
+FLEET_ELTS = 4
+FLEET_CATALOG = 20_000
+N_SHARDS = 8
+N_WORKERS = 4
+
+#: Wall-time acceptance: 4 workers at least this much faster than 1 process.
+SPEEDUP_THRESHOLD = 2.5
+
+
+def _workload():
+    return build_workload(
+        n_trials=FLEET_TRIALS,
+        events_per_trial=FLEET_EVENTS,
+        n_layers=FLEET_LAYERS,
+        elts_per_layer=FLEET_ELTS,
+        catalog_size=FLEET_CATALOG,
+    )
+
+
+def _config() -> EngineConfig:
+    return EngineConfig(backend="vectorized", trial_shards=N_SHARDS)
+
+
+def _warm(workload) -> None:
+    """Build the dense matrices once so runs measure execution, not lowering."""
+    for layer in workload.program.layers:
+        layer.loss_matrix().combined_net_losses()
+
+
+def _best_of(n_repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n_repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fleet_merge_bit_identical():
+    """Acceptance: a 4-worker fleet merge reproduces the monolithic run exactly."""
+    workload = build_workload(
+        n_trials=2000,
+        events_per_trial=40,
+        n_layers=16,
+        elts_per_layer=FLEET_ELTS,
+        catalog_size=FLEET_CATALOG,
+    )
+    config = _config()
+    engine = AggregateRiskEngine(config)
+    monolithic = engine.run(workload.program, workload.yet)
+    workers = [WorkerProcess(config=config) for _ in range(N_WORKERS)]
+    try:
+        for worker in workers:
+            worker.start()
+        fleet = engine.run_distributed(
+            workload.program,
+            workload.yet,
+            workers=[worker.address for worker in workers],
+            n_shards=N_SHARDS,
+        )
+    finally:
+        for worker in workers:
+            worker.stop()
+    np.testing.assert_array_equal(fleet.ylt.losses, monolithic.ylt.losses)
+    assert fleet.details["fleet"]["dead_workers"] == []
+    assert sum(fleet.details["fleet"]["shards_per_worker"].values()) == N_SHARDS
+
+
+def test_fleet_survives_worker_kill():
+    """Acceptance: killing a worker mid-run still merges bit-identically."""
+    workload = build_workload(
+        n_trials=2000,
+        events_per_trial=40,
+        n_layers=16,
+        elts_per_layer=FLEET_ELTS,
+        catalog_size=FLEET_CATALOG,
+    )
+    config = _config()
+    engine = AggregateRiskEngine(config)
+    monolithic = engine.run(workload.program, workload.yet)
+    with WorkerProcess(config=config) as survivor, WorkerProcess(
+        config=config
+    ) as victim:
+        killed = []
+
+        def kill_victim_once(partial):
+            if not killed:
+                killed.append(partial)
+                victim.kill()
+
+        fleet = engine.run_distributed(
+            workload.program,
+            workload.yet,
+            workers=[survivor.address, victim.address],
+            n_shards=N_SHARDS,
+            timeout=30.0,
+            on_partial=kill_victim_once,
+        )
+    np.testing.assert_array_equal(fleet.ylt.losses, monolithic.ylt.losses)
+
+
+def test_fleet_speedup_at_4_workers():
+    """Acceptance: 4 worker processes >= 2.5x one process on the 64-layer run.
+
+    Both sides are warm: the single-process baseline executes a prebuilt
+    plan (no lowering in the loop) and the fleet is timed only after a
+    cold run has shipped the program and YET into every worker's
+    digest-keyed caches.  The record is written *before* the core-count
+    skip so 1-core hosts still contribute an honest trajectory point.
+    """
+    workload = _workload()
+    _warm(workload)
+    config = _config()
+    engine = AggregateRiskEngine(config)
+    plan = PlanBuilder.from_program(workload.program, workload.yet)
+    engine.run_plan(plan)
+    wall_single = _best_of(3, lambda: engine.run_plan(plan))
+
+    workers = [WorkerProcess(config=config) for _ in range(N_WORKERS)]
+    try:
+        for worker in workers:
+            worker.start()
+        with FleetEngine(
+            [worker.address for worker in workers], config=config
+        ) as fleet:
+            cold_start = time.perf_counter()
+            cold = fleet.run(workload.program, workload.yet, n_shards=N_SHARDS)
+            wall_cold = time.perf_counter() - cold_start
+            wall_fleet = _best_of(
+                3,
+                lambda: fleet.run(workload.program, workload.yet, n_shards=N_SHARDS),
+            )
+    finally:
+        for worker in workers:
+            worker.stop()
+
+    mono = engine.run_plan(plan)
+    np.testing.assert_array_equal(cold.ylt.losses, mono.ylt.losses)
+
+    record_benchmark(
+        "distributed",
+        backend="vectorized",
+        shape={
+            "n_trials": FLEET_TRIALS,
+            "events_per_trial": FLEET_EVENTS,
+            "n_layers": FLEET_LAYERS,
+            "elts_per_layer": FLEET_ELTS,
+            "catalog_size": FLEET_CATALOG,
+            "n_shards": N_SHARDS,
+            "n_workers": N_WORKERS,
+        },
+        baseline_seconds=wall_single,
+        candidate_seconds=wall_fleet,
+        threshold=SPEEDUP_THRESHOLD,
+        meta={
+            "baseline": "warm single-process vectorized run_plan",
+            "candidate": f"warm {N_WORKERS}-worker fleet over {N_SHARDS} shards",
+            "cold_fleet_seconds": round(wall_cold, 4),
+            "warm_over_cold_speedup": round(wall_cold / wall_fleet, 2),
+            "note": (
+                "speedup gate asserted only on hosts with >= n_workers cores; "
+                "fewer cores timeshare the worker processes"
+            ),
+        },
+    )
+
+    cores = os.cpu_count() or 1
+    if cores < N_WORKERS:
+        pytest.skip(
+            f"fleet speedup gate needs >= {N_WORKERS} cores; host has {cores}"
+        )
+    speedup = wall_single / wall_fleet
+    assert speedup >= SPEEDUP_THRESHOLD, (
+        f"{N_WORKERS}-worker fleet is only {speedup:.2f}x the single-process "
+        f"wall ({wall_fleet:.3f}s vs {wall_single:.3f}s; "
+        f"threshold {SPEEDUP_THRESHOLD}x)"
+    )

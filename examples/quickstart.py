@@ -35,7 +35,13 @@ This is the 60-second tour of the library:
     TCP front end multiplexes pipelined NDJSON clients over the same
     service, answers stay bit-identical to serial submission, and overload
     is rejected with a structured error instead of queueing unboundedly
-    (CLI equivalent: ``are serve --listen 127.0.0.1:7332``).
+    (CLI equivalent: ``are serve --listen 127.0.0.1:7332``),
+11. distribute the run across a fleet: two worker processes listening on
+    sockets each receive the plan once (digest-keyed), price disjoint
+    trial shards pulled from a shared queue, and stream their partial
+    results back into one accumulator — the merge is bit-identical to the
+    monolithic run (CLI equivalent: ``are worker --listen 127.0.0.1:7401``
+    on each box, then ``are run --fleet host1:7401,host2:7401``).
 
 Every entry point above lowers to the same ExecutionPlan IR (one workload
 description of tiles over trial blocks x stacked layer rows) that all five
@@ -313,6 +319,35 @@ def main() -> None:
     print(f"   server  : served {stats['served']} | "
           f"p99 {stats['p99_seconds'] * 1e3:.1f}ms")
     serving.close()
+
+    # ------------------------------------------------------------------ #
+    # 11. Distributed fleet execution.  Each worker listens on a socket
+    #     (`are worker --listen ...` runs the same class as a process);
+    #     the coordinator ships the program and YET once, workers pull
+    #     trial shards from a shared queue — work stealing, so a fast
+    #     worker prices more shards — and every PartialResult streams
+    #     back into one accumulator the moment it is priced.  Placement
+    #     is pure column assembly: the merged table is bit-identical to
+    #     the monolithic run, and a worker lost mid-run only costs its
+    #     unfinished shards a reassignment.
+    # ------------------------------------------------------------------ #
+    from repro.distributed import FleetWorker
+
+    with FleetWorker(config=EngineConfig(backend="vectorized")) as w1, FleetWorker(
+        config=EngineConfig(backend="vectorized")
+    ) as w2:
+        fleet = engine.run_distributed(
+            workload.program,
+            workload.yet,
+            workers=[w1.address, w2.address],
+            n_shards=8,
+        )
+    print("\nDistributed fleet (2 socket workers, 8 shards, work stealing):")
+    print("  ", fleet.summary())
+    print("   shards per worker:",
+          dict(fleet.details["fleet"]["shards_per_worker"]))
+    print("   fleet == monolithic bit-for-bit:",
+          bool((fleet.ylt.losses == result.ylt.losses).all()))
 
 
 if __name__ == "__main__":

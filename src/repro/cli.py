@@ -117,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
              "in one fused engine invocation and print a quote per variant "
              "(0 = normal single run)",
     )
+    run.add_argument(
+        "--fleet", metavar="ADDRS", default=None,
+        help="price on a distributed worker fleet: comma-separated HOST:PORT "
+             "addresses of `are worker` processes (the merge is bit-identical "
+             "to a local run)",
+    )
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -210,6 +216,29 @@ def build_parser() -> argparse.ArgumentParser:
              "control answers {\"error\": {\"type\": \"Overloaded\"}} (default 16)",
     )
 
+    worker = subparsers.add_parser(
+        "worker",
+        help="host a distributed fleet worker: price trial shards shipped over TCP "
+             "(see AggregateRiskEngine.run_distributed)",
+    )
+    worker.add_argument(
+        "--listen", type=_listen_address, metavar="HOST:PORT",
+        default=("127.0.0.1", 0),
+        help="listen address (default 127.0.0.1:0 = ephemeral port, printed on start)",
+    )
+    worker.add_argument("--backend", default="vectorized", choices=BACKEND_NAMES)
+    worker.add_argument("--workers", type=int, default=1,
+                        help="workers for the multicore backend")
+    _add_native_arguments(worker)
+    worker.add_argument(
+        "--cache-size", type=_positive_int, default=32,
+        help="digest-keyed shard-plan cache capacity (default 32)",
+    )
+    worker.add_argument(
+        "--name", default=None,
+        help="provenance label stamped into produced partials (default worker-<pid>)",
+    )
+
     backends = subparsers.add_parser(
         "backends",
         help="list the engine backends with availability probes",
@@ -217,6 +246,11 @@ def build_parser() -> argparse.ArgumentParser:
     backends.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit the probe results as a JSON object",
+    )
+    backends.add_argument(
+        "--probe-workers", metavar="ADDRS", default=None,
+        help="comma-separated are-worker addresses to probe for the distributed "
+             "row (default: the ARE_WORKERS environment variable)",
     )
 
     project = subparsers.add_parser(
@@ -330,6 +364,17 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    fleet: tuple[str, ...] = ()
+    if getattr(args, "fleet", None):
+        fleet = tuple(
+            address.strip() for address in args.fleet.split(",") if address.strip()
+        )
+    if fleet and args.batch > 0:
+        print(
+            "error: --fleet prices single runs; batch pricing is not distributed",
+            file=sys.stderr,
+        )
+        return 2
     workload = _build_workload(args)
     service = _build_service(args, workload)
     if args.batch > 0:
@@ -349,13 +394,25 @@ def _command_run(args: argparse.Namespace) -> int:
         if response.results[0].phase_breakdown is not None:
             print(response.results[0].phase_breakdown.format_table())
         return 0
-    response = service.submit(
-        AnalysisRequest(kind="run", program=args.preset, shards=args.shards)
+    request = AnalysisRequest(
+        kind="run", program=args.preset, shards=args.shards, workers=fleet
     )
+    try:
+        request.validate()
+    except RequestValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    response = service.submit(request)
     result = response.result
     print(f"workload : {workload.summary()}")
     print(f"result   : {result.summary()}"
           + (f" shards={result.details.get('trial_shards')}" if args.shards else ""))
+    if fleet:
+        details = result.details["fleet"]
+        print(f"fleet    : {len(details['shards_per_worker'])} workers x "
+              f"{details['n_shards']} shards"
+              + (f", dead: {', '.join(details['dead_workers'])}"
+                 if details["dead_workers"] else ""))
     if result.phase_breakdown is not None:
         print(result.phase_breakdown.format_table())
     return 0
@@ -600,6 +657,43 @@ def _command_serve(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    """Host one distributed fleet worker until SIGINT or a shutdown request.
+
+    The worker owns its warm state — digest-keyed programs, YET stores, and
+    the shard-plan cache — and prints the same stats-line shape on shutdown
+    that ``are serve`` does, so fleet and service logs read alike.
+    """
+    from repro.distributed.worker import FleetWorker
+
+    host, port = args.listen
+    worker = FleetWorker(
+        config=_build_config(args),
+        host=host,
+        port=port,
+        name=args.name,
+        cache_size=args.cache_size,
+    )
+    worker.start()
+    exit_code = 0
+    try:
+        print(
+            f"worker {worker.name} listening on {worker.address} "
+            f"({args.backend}; plan cache: {args.cache_size} entries)",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            worker.wait()
+        except KeyboardInterrupt:
+            exit_code = 130
+    finally:
+        worker.stop()
+        with contextlib.suppress(Exception):
+            print(worker.stats_line(), file=sys.stderr, flush=True)
+    return exit_code
+
+
 #: One-line descriptions of the always-available pure-Python backends.
 _BACKEND_NOTES = {
     "sequential": "per-trial reference loop (conformance oracle)",
@@ -608,12 +702,22 @@ _BACKEND_NOTES = {
     "multicore": "worker processes over trial blocks (shared-memory transport)",
     "gpu": "simulated device: paper-figure cost model, not a fast path",
     "native": "compiled C fused kernels via ctypes (OpenMP, optional float32)",
+    "distributed": "fleet execution across are-worker processes (run_distributed)",
 }
 
 
-def _backend_probes() -> dict:
+def _worker_probe_addresses(args: argparse.Namespace | None = None) -> list[str]:
+    """Worker addresses to probe: ``--probe-workers`` or ``ARE_WORKERS``."""
+    spec = getattr(args, "probe_workers", None) if args is not None else None
+    if spec is None:
+        spec = os.environ.get("ARE_WORKERS", "")
+    return [part.strip() for part in spec.split(",") if part.strip()]
+
+
+def _backend_probes(worker_addresses: Sequence[str] = ()) -> dict:
     """Availability probe per backend (the payload of ``are backends``)."""
     from repro.core.native.build import native_status
+    from repro.distributed.fleet import probe_worker
 
     probes: dict = {}
     for name in BACKEND_NAMES:
@@ -631,11 +735,23 @@ def _backend_probes() -> dict:
             if status["reason"]:
                 entry["fallback_reason"] = status["reason"]
         probes[name] = entry
+    distributed: dict = {"note": _BACKEND_NOTES["distributed"]}
+    if worker_addresses:
+        workers = {address: probe_worker(address) for address in worker_addresses}
+        distributed["workers"] = workers
+        distributed["available"] = any(p["reachable"] for p in workers.values())
+    else:
+        distributed["available"] = False
+        distributed["fallback_reason"] = (
+            "no workers configured (start `are worker` and set ARE_WORKERS=HOST:PORT,... "
+            "or pass --probe-workers)"
+        )
+    probes["distributed"] = distributed
     return probes
 
 
 def _command_backends(args: argparse.Namespace) -> int:
-    probes = _backend_probes()
+    probes = _backend_probes(_worker_probe_addresses(args))
     if args.as_json:
         print(json.dumps({"backends": probes}, indent=2, sort_keys=True))
         return 0
@@ -649,6 +765,14 @@ def _command_backends(args: argparse.Namespace) -> int:
             else:
                 print(f"{'':11} compiled tier unavailable: {entry['fallback_reason']}")
                 print(f"{'':11} runs on the vectorized NumPy fallback (identical results)")
+        if name == "distributed":
+            for address, report in entry.get("workers", {}).items():
+                if report["reachable"]:
+                    print(f"{'':11} {address}: reachable ({report['worker']})")
+                else:
+                    print(f"{'':11} {address}: unreachable ({report['error']})")
+            if "fallback_reason" in entry:
+                print(f"{'':11} {entry['fallback_reason']}")
     return 0
 
 
@@ -675,6 +799,7 @@ _COMMANDS = {
     "uncertainty": _command_uncertainty,
     "request": _command_request,
     "serve": _command_serve,
+    "worker": _command_worker,
     "backends": _command_backends,
     "project": _command_project,
 }

@@ -229,6 +229,37 @@ class AggregateRiskEngine:
             },
         )
 
+    def run_distributed(
+        self,
+        program: ReinsuranceProgram | Layer,
+        source,
+        workers: Sequence[str],
+        n_shards: int = 0,
+        timeout: float = 120.0,
+        on_partial=None,
+    ) -> EngineResult:
+        """Price a program across a fleet of socket workers; exact merge.
+
+        The fleet form of :meth:`run_sharded`: the trial domain is cut into
+        disjoint shards on a work-stealing queue, each worker executes its
+        shards remotely under this engine's plan-relevant config (shipped
+        with every request), and the streamed
+        :class:`~repro.core.results.PartialResult` blocks merge into one
+        accumulator as they arrive.  The result is **bit-identical** to a
+        monolithic :meth:`run` on every backend; a worker that times out or
+        dies has its shards retried once and then reassigned to survivors.
+
+        ``workers`` are ``"host:port"`` addresses of ``are worker``
+        processes.  ``source`` is an in-memory YET (shipped once per
+        worker, digest-cached there) or a
+        :class:`~repro.yet.io.YetShardReader` over a store directory every
+        worker can reach.  See :mod:`repro.distributed` for the protocol.
+        """
+        from repro.distributed.fleet import FleetEngine
+
+        with FleetEngine(workers, config=self.config, timeout=timeout) as fleet:
+            return fleet.run(program, source, n_shards=n_shards, on_partial=on_partial)
+
     # ------------------------------------------------------------------ #
     # Warm-engine lifecycle (used by the RiskService)
     # ------------------------------------------------------------------ #

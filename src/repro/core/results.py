@@ -23,7 +23,10 @@ mechanism rather than three.
 
 from __future__ import annotations
 
+import io
+import json
 import os
+import struct
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Iterator, List, Mapping, Sequence
@@ -36,6 +39,14 @@ from repro.utils.timing import TimingBreakdown
 from repro.ylt.table import YearLossTable
 
 __all__ = ["EngineResult", "MetricState", "PartialResult", "ResultAccumulator"]
+
+#: Magic + version of the :meth:`PartialResult.to_bytes` wire format.
+_WIRE_MAGIC = b"ARPT"
+_WIRE_VERSION = 1
+#: Header: magic, u8 version, u8 flags (bit 0: max-occurrence block present).
+_WIRE_HEADER = struct.Struct(">4sBB")
+#: Big-endian u64 — trial-range endpoints and block-length prefixes.
+_WIRE_U64 = struct.Struct(">Q")
 
 
 @dataclass(frozen=True)
@@ -335,6 +346,123 @@ class PartialResult:
             max_occurrence=np.load(source / str(occ_name)) if occ_name else None,
         )
 
+    # ------------------------------------------------------------------ #
+    # Wire format (the distributed worker protocol's payload): the same
+    # ``.npy`` blocks save/load writes to disk, packed into one buffer
+    # behind a fixed header so a socket peer can frame and validate it.
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Encode the block for the wire (see :meth:`from_bytes`).
+
+        Layout: a ``b"ARPT"`` magic + version + flags header, the trial
+        range as two big-endian u64s, a length-prefixed JSON provenance
+        blob (:attr:`details`, JSON-compatible values only), then one
+        length-prefixed ``.npy`` block per array — the identical bytes
+        :meth:`save` would write to disk, so the two serializations cannot
+        drift apart.
+        """
+        flags = 1 if self.max_occurrence is not None else 0
+        out = io.BytesIO()
+        out.write(_WIRE_HEADER.pack(_WIRE_MAGIC, _WIRE_VERSION, flags))
+        out.write(_WIRE_U64.pack(self.trials.start))
+        out.write(_WIRE_U64.pack(self.trials.stop))
+        details_blob = json.dumps(dict(self.details), sort_keys=True).encode("utf-8")
+        out.write(_WIRE_U64.pack(len(details_blob)))
+        out.write(details_blob)
+        for array in (self.losses, self.max_occurrence):
+            if array is None:
+                continue
+            block = io.BytesIO()
+            np.save(block, array)
+            blob = block.getvalue()
+            out.write(_WIRE_U64.pack(len(blob)))
+            out.write(blob)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "PartialResult":
+        """Decode a block encoded by :meth:`to_bytes`.
+
+        Validates the magic, version, and array contract on the way in:
+        the losses must decode as a 2-D float64 block whose width matches
+        the framed trial range, and the maximum-occurrence block (when the
+        flags say one follows) must match its shape — a truncated or
+        corrupted payload fails loudly rather than producing a plausible
+        but wrong block.
+        """
+        view = memoryview(payload)
+        offset = 0
+
+        def take(n: int, what: str) -> memoryview:
+            nonlocal offset
+            if offset + n > len(view):
+                raise ValueError(
+                    f"truncated PartialResult payload: {what} needs {n} bytes "
+                    f"at offset {offset}, only {len(view) - offset} remain"
+                )
+            chunk = view[offset : offset + n]
+            offset += n
+            return chunk
+
+        magic, version, flags = _WIRE_HEADER.unpack(take(_WIRE_HEADER.size, "header"))
+        if magic != _WIRE_MAGIC:
+            raise ValueError(f"bad PartialResult magic {bytes(magic)!r}")
+        if version != _WIRE_VERSION:
+            raise ValueError(f"unsupported PartialResult wire version {version}")
+        start = _WIRE_U64.unpack(take(_WIRE_U64.size, "trial start"))[0]
+        stop = _WIRE_U64.unpack(take(_WIRE_U64.size, "trial stop"))[0]
+        trials = TrialRange(int(start), int(stop))
+
+        def take_block(what: str) -> bytes:
+            length = _WIRE_U64.unpack(take(_WIRE_U64.size, f"{what} length"))[0]
+            return bytes(take(int(length), what))
+
+        details = json.loads(take_block("details").decode("utf-8"))
+        losses = np.load(io.BytesIO(take_block("losses block")), allow_pickle=False)
+        if losses.ndim != 2 or losses.dtype != np.float64:
+            raise ValueError(
+                f"losses block must be 2-D float64, got shape {losses.shape} "
+                f"dtype {losses.dtype}"
+            )
+        if losses.shape[1] != trials.size:
+            raise ValueError(
+                f"losses block covers {losses.shape[1]} trials but the framed "
+                f"range [{trials.start}, {trials.stop}) holds {trials.size}"
+            )
+        max_occurrence = None
+        if flags & 1:
+            max_occurrence = np.load(
+                io.BytesIO(take_block("max-occurrence block")), allow_pickle=False
+            )
+            if max_occurrence.shape != losses.shape:
+                raise ValueError(
+                    f"max-occurrence block shape {max_occurrence.shape} does not "
+                    f"match losses shape {losses.shape}"
+                )
+        if offset != len(view):
+            raise ValueError(
+                f"PartialResult payload has {len(view) - offset} trailing bytes"
+            )
+        return cls(
+            trials=trials,
+            losses=losses,
+            max_occurrence=max_occurrence,
+            details=details,
+        )
+
+    def origin(self) -> str:
+        """Human-readable provenance of the block, from :attr:`details`.
+
+        Prefers the distributed worker name, then the shard/process label,
+        then the producing backend; falls back to ``"unattributed"`` so the
+        overlap diagnostics below always have something to say.
+        """
+        for key in ("worker", "source", "shard", "backend"):
+            value = self.details.get(key) if self.details else None
+            if value:
+                return f"{key}={value}"
+        return "unattributed"
+
 
 class ResultAccumulator:
     """Exact reduction of disjoint trial-shard partials into one result.
@@ -390,17 +518,22 @@ class ResultAccumulator:
         if partial.trials.start < self.trials.start or partial.trials.stop > self.trials.stop:
             raise ValueError(
                 f"partial range [{partial.trials.start}, {partial.trials.stop}) "
-                f"outside the accumulated domain [{self.trials.start}, {self.trials.stop})"
+                f"({partial.origin()}) outside the accumulated domain "
+                f"[{self.trials.start}, {self.trials.stop})"
             )
         for existing in self._partials:
             if (
                 partial.trials.start < existing.trials.stop
                 and existing.trials.start < partial.trials.stop
             ):
+                # Name both ranges AND where each block came from: when a
+                # fleet of workers disagrees about shard ownership, the pair
+                # of origins is what identifies the double assignment.
                 raise ValueError(
                     f"partial range [{partial.trials.start}, {partial.trials.stop}) "
-                    f"overlaps accumulated range "
-                    f"[{existing.trials.start}, {existing.trials.stop})"
+                    f"({partial.origin()}) overlaps accumulated range "
+                    f"[{existing.trials.start}, {existing.trials.stop}) "
+                    f"({existing.origin()})"
                 )
         self._partials.append(partial)
         return self

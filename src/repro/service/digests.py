@@ -47,6 +47,7 @@ __all__ = [
     "config_digest",
     "elt_digest",
     "layer_digest",
+    "plan_relevant_config",
     "program_digest",
     "stack_digest",
     "terms_digest",
@@ -268,6 +269,19 @@ def stack_digest(stack: np.ndarray) -> str:
 def terms_digest(terms: Sequence[LayerTerms]) -> str:
     """Content digest of a sequence of layer terms (``run_stacked`` rows)."""
     return _hexdigest((b"terms", *(_layer_terms_bytes(t) for t in terms)))
+
+
+def plan_relevant_config(config: EngineConfig) -> dict:
+    """The plan-relevant config fields as a plain ``{name: value}`` dict.
+
+    The wire form of :func:`config_digest`'s input: the distributed
+    coordinator ships exactly these fields with each shard request, and the
+    worker applies them over its own base config
+    (``EngineConfig.replace(**fields)``) — anything the digest covers, and
+    only that, determines the numbers a worker produces, so agreeing on
+    these fields is what makes the fleet's merge bit-identical.
+    """
+    return {name: getattr(config, name) for name in PLAN_RELEVANT_CONFIG_FIELDS}
 
 
 def config_digest(config: EngineConfig) -> str:

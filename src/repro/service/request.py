@@ -118,6 +118,13 @@ class AnalysisRequest:
         result cache (when the service has one).  Set ``False`` to force a
         full kernel pass for this request; the pass still populates the
         plan cache, but neither consults nor updates the result cache.
+    workers:
+        Fleet worker addresses (``"host:port"`` of ``are worker``
+        processes) to distribute a ``run`` request across.  The shard
+        merge is bit-identical to the local run; ``shards`` sets the fleet
+        shard count (``0`` = two shards per worker).  Empty (the default)
+        executes locally.  Distributed requests bypass the local plan and
+        result caches — the warm state lives on the workers.
     tags:
         Free-form client metadata echoed back on the response.
     """
@@ -141,6 +148,7 @@ class AnalysisRequest:
     seed: int | None = None
     quote: bool = True
     result_cache: bool = True
+    workers: tuple[str, ...] = ()
     tags: Mapping[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -179,6 +187,19 @@ class AnalysisRequest:
             raise _error("return periods must be positive", "return_periods")
         if any(not 0.0 < level < 1.0 for level in self.tvar_levels):
             raise _error("TVaR levels must lie in (0, 1)", "tvar_levels")
+        if self.workers:
+            if self.kind != "run":
+                raise _error(
+                    f"kind {self.kind!r} does not support distributed workers",
+                    "workers",
+                )
+            for address in self.workers:
+                host, sep, port = str(address).rpartition(":")
+                if not sep or not host or not port.isdigit():
+                    raise _error(
+                        f"worker address must be HOST:PORT, got {address!r}",
+                        "workers",
+                    )
 
         if self.kind in ("run", "uncertainty"):
             if not self.program:
@@ -217,6 +238,7 @@ class AnalysisRequest:
         payload["programs"] = list(self.programs)
         payload["return_periods"] = list(self.return_periods)
         payload["tvar_levels"] = list(self.tvar_levels)
+        payload["workers"] = list(self.workers)
         payload["tags"] = dict(self.tags)
         return payload
 
@@ -236,7 +258,7 @@ class AnalysisRequest:
         if "kind" not in payload:
             raise _error("missing required field 'kind'", "kind")
         data = dict(payload)
-        for name in ("programs", "return_periods", "tvar_levels"):
+        for name in ("programs", "return_periods", "tvar_levels", "workers"):
             if name in data:
                 value = data[name]
                 if isinstance(value, (str, bytes)) or not hasattr(value, "__iter__"):

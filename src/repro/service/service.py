@@ -418,7 +418,7 @@ class RiskService:
         started = time.perf_counter()
         acct = _CacheAccounting()
 
-        if request.kind == "run" and not (
+        if request.kind == "run" and not request.workers and not (
             self.result_cache is not None and request.result_cache
         ):
             req = request
@@ -513,6 +513,23 @@ class RiskService:
     ) -> AnalysisResponse:
         program, companion = self._resolve_program(request.program, request.seed)
         yet = self._resolve_yet(request, companion)
+        if request.workers:
+            # Fleet execution: the shards are lowered and cached on the
+            # workers (digest-keyed), so the local plan and result caches
+            # are deliberately bypassed — the merged result is bit-identical
+            # to the local run either way.
+            executed = time.perf_counter()
+            result = self.engine.run_distributed(
+                program, yet, workers=request.workers, n_shards=request.shards
+            )
+            execute_seconds = time.perf_counter() - executed
+            return AnalysisResponse(
+                request=request,
+                results=(result,),
+                quotes=self._quotes_for(request, [program], [result]),
+                timings={"lower": 0.0, "execute": execute_seconds},
+                details={"fleet": dict(result.details.get("fleet", {}))},
+            )
         key = self._program_key("run", [program], yet, request.shards)
         if self.result_cache is not None and request.result_cache:
             return self._run_with_result_cache(request, program, yet, key, acct)

@@ -18,6 +18,7 @@ Two on-disk forms are supported:
 
 from __future__ import annotations
 
+import io
 import json
 import os
 from pathlib import Path
@@ -31,6 +32,8 @@ from repro.yet.table import YearEventTable
 __all__ = [
     "save_yet",
     "load_yet",
+    "yet_to_bytes",
+    "yet_from_bytes",
     "save_yet_store",
     "shard_count_for_budget",
     "YetShardReader",
@@ -69,6 +72,40 @@ def load_yet(path: str | os.PathLike) -> YearEventTable:
     if not source.exists():
         raise FileNotFoundError(f"no such YET file: {path}")
     with np.load(source) as data:
+        meta = data["meta"]
+        version = int(meta[0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported YET format version {version}")
+        catalog_size = int(meta[1])
+        has_timestamps = bool(meta[2])
+        event_ids = data["event_ids"]
+        trial_offsets = data["trial_offsets"]
+        timestamps = data["timestamps"] if has_timestamps else None
+    return YearEventTable(event_ids, trial_offsets, catalog_size, timestamps)
+
+
+def yet_to_bytes(yet: YearEventTable) -> bytes:
+    """Encode a YET as one in-memory ``.npz`` blob (see :func:`yet_from_bytes`).
+
+    The exact member layout of :func:`save_yet`, written to a buffer instead
+    of a file — the form the distributed protocol ships when a worker has no
+    shared filesystem to fetch a store directory from.
+    """
+    meta = np.array(
+        [_FORMAT_VERSION, yet.catalog_size, 1 if yet.timestamps is not None else 0],
+        dtype=np.int64,
+    )
+    arrays = {"meta": meta, "event_ids": yet.event_ids, "trial_offsets": yet.trial_offsets}
+    if yet.timestamps is not None:
+        arrays["timestamps"] = yet.timestamps
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def yet_from_bytes(payload: bytes) -> YearEventTable:
+    """Decode a YET encoded by :func:`yet_to_bytes`."""
+    with np.load(io.BytesIO(payload)) as data:
         meta = data["meta"]
         version = int(meta[0])
         if version != _FORMAT_VERSION:

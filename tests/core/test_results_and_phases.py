@@ -122,6 +122,50 @@ class TestResultAccumulator:
         with pytest.raises(ValueError, match="rows"):
             acc.add(self._partial(4, 6, 2.0, n_rows=3))
 
+    def test_overlap_error_names_endpoints_and_provenance(self):
+        # A fleet diagnosing a double shard assignment needs the conflicting
+        # endpoints AND where each block came from, in one message.
+        from repro.core.results import PartialResult, ResultAccumulator
+        from repro.parallel.partitioner import TrialRange
+
+        acc = ResultAccumulator(1, 10)
+        acc.add(
+            PartialResult(
+                TrialRange(0, 4), np.zeros((1, 4)), details={"worker": "fleet-a"}
+            )
+        )
+        with pytest.raises(
+            ValueError,
+            match=r"\[2, 6\) \(worker=fleet-b\) overlaps accumulated range "
+            r"\[0, 4\) \(worker=fleet-a\)",
+        ):
+            acc.add(
+                PartialResult(
+                    TrialRange(2, 6), np.zeros((1, 4)), details={"worker": "fleet-b"}
+                )
+            )
+
+    def test_domain_error_names_provenance(self):
+        from repro.core.results import PartialResult, ResultAccumulator
+        from repro.parallel.partitioner import TrialRange
+
+        acc = ResultAccumulator(1, 10)
+        with pytest.raises(ValueError, match=r"\(backend=native\) outside"):
+            acc.add(
+                PartialResult(
+                    TrialRange(8, 12), np.zeros((1, 4)), details={"backend": "native"}
+                )
+            )
+
+    def test_unattributed_partials_say_so(self):
+        from repro.core.results import PartialResult, ResultAccumulator
+        from repro.parallel.partitioner import TrialRange
+
+        acc = ResultAccumulator(1, 10)
+        acc.add(PartialResult(TrialRange(0, 4), np.zeros((1, 4))))
+        with pytest.raises(ValueError, match=r"\(unattributed\) overlaps"):
+            acc.add(PartialResult(TrialRange(0, 4), np.zeros((1, 4))))
+
     def test_incomplete_assembly_names_missing_ranges(self):
         from repro.core.results import ResultAccumulator
 

@@ -92,7 +92,9 @@ class TestLayerTermsProperties:
         offsets = offsets_for(losses, data)
         shortcut = aggregate_terms_shortcut(losses, offsets, terms)
         cumulative = apply_aggregate_terms_cumulative(losses, offsets, terms)
-        np.testing.assert_allclose(shortcut, cumulative, rtol=1e-9, atol=1e-6)
+        # atol must absorb cancellation when the aggregate retention is
+        # consumed by losses ~1e9 larger than the surviving recovery.
+        np.testing.assert_allclose(shortcut, cumulative, rtol=1e-7, atol=1e-4)
 
     @given(data=st.data(), losses=losses_arrays, terms=layer_terms)
     @settings(max_examples=100, deadline=None)

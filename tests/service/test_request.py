@@ -113,6 +113,24 @@ class TestValidation:
         with pytest.raises(RequestValidationError, match=match):
             AnalysisRequest(kind="uncertainty", program="a", **overrides).validate()
 
+    def test_workers_only_on_run(self):
+        with pytest.raises(RequestValidationError, match="does not support distributed"):
+            AnalysisRequest(
+                kind="uncertainty", program="a", workers=("h:1",)
+            ).validate()
+
+    @pytest.mark.parametrize("address", ["localhost", "host:", ":9", "host:http"])
+    def test_worker_address_must_be_host_port(self, address):
+        with pytest.raises(RequestValidationError, match="HOST:PORT"):
+            AnalysisRequest(kind="run", program="a", workers=(address,)).validate()
+
+    def test_workers_round_trip(self):
+        request = AnalysisRequest(
+            kind="run", program="a", workers=("10.0.0.1:7001", "10.0.0.2:7001")
+        ).validate()
+        assert AnalysisRequest.from_dict(request.to_dict()) == request
+        assert AnalysisRequest.from_json(request.to_json()).workers == request.workers
+
     def test_validation_error_names_field(self):
         with pytest.raises(RequestValidationError) as excinfo:
             AnalysisRequest(kind="run").validate()

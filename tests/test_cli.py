@@ -439,6 +439,99 @@ class TestListenFlags:
                 proc.wait(timeout=10)
 
 
+class TestFleetRunFlag:
+    def test_fleet_flag_parsed(self):
+        args = build_parser().parse_args(["run", "--fleet", "a:1,b:2"])
+        assert args.fleet == "a:1,b:2"
+        assert build_parser().parse_args(["run"]).fleet is None
+
+    def test_fleet_run_matches_local_run(self, capsys):
+        """`are run --fleet` prices on live workers, bit-identical metrics."""
+        from repro.core.config import EngineConfig
+        from repro.distributed import FleetWorker
+
+        config = EngineConfig(backend="vectorized")
+        with FleetWorker(config=config) as w1, FleetWorker(config=config) as w2:
+            assert main(
+                ["run", "--preset", "tiny", "--shards", "4",
+                 "--fleet", f"{w1.address},{w2.address}"]
+            ) == 0
+        fleet_out = capsys.readouterr().out
+        assert "fleet    : 2 workers x 4 shards" in fleet_out
+        assert main(["run", "--preset", "tiny", "--shards", "4"]) == 0
+        local_out = capsys.readouterr().out
+        # Same workload line; the result line differs only in wall time.
+        assert fleet_out.splitlines()[0] == local_out.splitlines()[0]
+
+    def test_fleet_rejected_with_batch(self, capsys):
+        assert main(
+            ["run", "--preset", "tiny", "--batch", "2", "--fleet", "a:1"]
+        ) == 2
+        assert "not distributed" in capsys.readouterr().err
+
+    def test_bad_fleet_address_is_a_clean_error(self, capsys):
+        assert main(["run", "--preset", "tiny", "--fleet", "nocolon"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestWorkerCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["worker"])
+        assert args.listen == ("127.0.0.1", 0)
+        assert args.backend == "vectorized"
+        assert args.cache_size == 32
+        assert args.name is None
+
+    def test_bad_listen_address_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "--listen", "9800"])
+
+    def test_worker_serves_a_fleet_and_drains_on_sigint(self):
+        """End to end through the real CLI: subprocess worker, fleet run, SIGINT."""
+        import os
+        import signal
+        import subprocess
+        import sys as _sys
+
+        import numpy as np
+
+        from repro.core.config import EngineConfig
+        from repro.core.engine import AggregateRiskEngine
+        from repro.workloads.generator import WorkloadGenerator
+        from repro.workloads.presets import tiny_spec
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", "worker", "--listen", "127.0.0.1:0",
+             "--name", "cli-worker"],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            assert "worker cli-worker listening on" in banner
+            address = banner.split("listening on ")[1].split(" ")[0]
+            workload = WorkloadGenerator(tiny_spec()).generate()
+            engine = AggregateRiskEngine(EngineConfig(backend="vectorized"))
+            mono = engine.run(workload.program, workload.yet)
+            fleet = engine.run_distributed(
+                workload.program, workload.yet, workers=[address], n_shards=2
+            )
+            assert np.array_equal(mono.ylt.losses, fleet.ylt.losses)
+            proc.send_signal(signal.SIGINT)
+            stderr_tail = proc.stderr.read()
+            assert proc.wait(timeout=30) == 130
+            # the shutdown stats line has the exact `are serve` shape
+            assert "served 2 requests | plan-cache:" in stderr_tail
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
 class TestBackendsCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["backends"])
@@ -448,19 +541,48 @@ class TestBackendsCommand:
     def test_lists_all_backends(self, capsys):
         assert main(["backends"]) == 0
         out = capsys.readouterr().out
-        for name in ("sequential", "vectorized", "chunked", "multicore", "gpu", "native"):
+        for name in (
+            "sequential", "vectorized", "chunked", "multicore", "gpu", "native",
+            "distributed",
+        ):
             assert name in out
 
-    def test_json_payload_shape(self, capsys):
+    def test_json_payload_shape(self, capsys, monkeypatch):
+        monkeypatch.delenv("ARE_WORKERS", raising=False)
         assert main(["backends", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         probes = payload["backends"]
         assert set(probes) == {
             "sequential", "vectorized", "chunked", "multicore", "gpu", "native",
+            "distributed",
         }
-        assert all(entry["available"] is True for entry in probes.values())
+        engine_rows = {k: v for k, v in probes.items() if k != "distributed"}
+        assert all(entry["available"] is True for entry in engine_rows.values())
         assert isinstance(probes["multicore"]["cpu_count"], int)
         assert isinstance(probes["native"]["compiled_tier"], bool)
+        # no workers configured: the fleet row reports unavailable + why
+        assert probes["distributed"]["available"] is False
+        assert "no workers configured" in probes["distributed"]["fallback_reason"]
+
+    def test_distributed_probe_reaches_a_live_worker(self, capsys):
+        from repro.core.config import EngineConfig
+        from repro.distributed import FleetWorker
+
+        with FleetWorker(config=EngineConfig(), name="probe-me") as worker:
+            assert main(["backends", "--json", "--probe-workers", worker.address]) == 0
+        row = json.loads(capsys.readouterr().out)["backends"]["distributed"]
+        assert row["available"] is True
+        assert row["workers"][worker.address] == {
+            "reachable": True,
+            "worker": "probe-me",
+        }
+
+    def test_distributed_probe_reads_are_workers_env(self, monkeypatch, capsys):
+        monkeypatch.setenv("ARE_WORKERS", "127.0.0.1:1")
+        assert main(["backends", "--json"]) == 0
+        row = json.loads(capsys.readouterr().out)["backends"]["distributed"]
+        assert row["available"] is False
+        assert row["workers"]["127.0.0.1:1"]["reachable"] is False
 
     def test_native_probe_reports_fallback_reason(self, monkeypatch, capsys):
         monkeypatch.setenv("ARE_NATIVE_CC", "are-no-such-compiler")
